@@ -1,0 +1,58 @@
+"""Ablation: divergence-aware aggregation (Calibre contribution 2).
+
+The paper introduces prototype-distance divergence rates as aggregation
+weights but reports no isolated ablation; DESIGN.md calls the functional
+form out as an interpretation choice, so this bench measures it: Calibre
+(SimCLR) with divergence weighting (softmax mode, temperature 1) vs. the
+same algorithm with plain FedAvg weighting (temperature 0), plus the
+inverse mode.
+"""
+
+import pytest
+
+from repro.eval import NonIIDSetting, run_experiment
+from repro.experiments import scaled_spec
+
+from .conftest import persist
+
+MODES = {
+    "fedavg-weighting": dict(divergence_temperature=0.0),
+    "softmax-t1": dict(divergence_temperature=1.0, divergence_mode="softmax"),
+    "inverse-t1": dict(divergence_temperature=1.0, divergence_mode="inverse"),
+}
+
+
+def _run():
+    rows = {}
+    for label, extra in MODES.items():
+        spec = scaled_spec(
+            "cifar10",
+            NonIIDSetting("dirichlet", 0.3, 50),
+            ["calibre-simclr"],
+            seed=0,
+            method_overrides={"calibre-simclr": {"num_prototypes": 5, **extra}},
+        )
+        outcome = run_experiment(spec)
+        rows[label] = outcome.reports["calibre-simclr"]
+    return rows
+
+
+def test_divergence_aggregation_ablation(benchmark, results_dir):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = [f"{'weighting':20s} {'mean':>8s} {'variance':>10s}"]
+    for label, report in rows.items():
+        lines.append(f"{label:20s} {report.mean:8.4f} {report.variance:10.5f}")
+        benchmark.extra_info[f"{label}_mean"] = report.mean
+    persist(results_dir, "ablation_divergence_weighting", "\n".join(lines))
+
+    # The divergence-aware variants must stay within a small band of plain
+    # FedAvg weighting (they re-weight, not destabilize).  Whether they
+    # *help* at this scale is the measured finding recorded above — in our
+    # scaled runs the weighting is neutral-to-slightly-negative on mean
+    # accuracy (see EXPERIMENTS.md), so only stability is asserted.
+    base = rows["fedavg-weighting"]
+    for label in ("softmax-t1", "inverse-t1"):
+        assert rows[label].mean >= base.mean - 0.05, (
+            f"{label} destabilized training ({rows[label].mean:.3f} vs "
+            f"{base.mean:.3f})"
+        )

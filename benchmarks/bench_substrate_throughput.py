@@ -1,0 +1,74 @@
+"""Substrate microbenchmarks (classic pytest-benchmark timings).
+
+Not a paper table — these track the throughput of the building blocks the
+reproduction stands on (autograd conv, NT-Xent, KMeans, t-SNE, a full
+Calibre loss step) so regressions in the substrate are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import kmeans
+from repro.core import cluster_views, prototype_meta_loss
+from repro.manifold import tsne_embed
+from repro.nn import SGD, SmallConvEncoder, Tensor
+from repro.nn import functional as F
+from repro.ssl import nt_xent
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_conv_encoder_forward_backward(benchmark, rng):
+    encoder = SmallConvEncoder(width=8, rng=rng)
+    images = rng.standard_normal((32, 3, 12, 12))
+
+    def step():
+        out = encoder(Tensor(images))
+        (out**2).sum().backward()
+        encoder.zero_grad()
+        return out
+
+    benchmark(step)
+
+
+def test_nt_xent_loss(benchmark, rng):
+    h1 = Tensor(rng.standard_normal((64, 32)), requires_grad=True)
+    h2 = Tensor(rng.standard_normal((64, 32)), requires_grad=True)
+
+    def step():
+        loss = nt_xent(h1, h2, 0.5)
+        loss.backward()
+        h1.grad = h2.grad = None
+        return loss
+
+    benchmark(step)
+
+
+def test_kmeans_batch_clustering(benchmark, rng):
+    points = rng.standard_normal((128, 32))
+    benchmark(lambda: kmeans(points, 10, rng=np.random.default_rng(1)))
+
+
+def test_calibre_prototype_loss(benchmark, rng):
+    z_e = Tensor(rng.standard_normal((64, 32)), requires_grad=True)
+    z_o = Tensor(rng.standard_normal((64, 32)), requires_grad=True)
+
+    def step():
+        clusters = cluster_views(z_e, z_o, 5, rng=np.random.default_rng(2))
+        loss = prototype_meta_loss(z_e, z_o, clusters, 0.5)
+        loss.backward()
+        z_e.grad = z_o.grad = None
+        return loss
+
+    benchmark(step)
+
+
+def test_tsne_small(benchmark, rng):
+    points = rng.standard_normal((60, 16))
+    benchmark.pedantic(
+        lambda: tsne_embed(points, perplexity=10.0, n_iterations=100, seed=0),
+        rounds=1, iterations=1,
+    )

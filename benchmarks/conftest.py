@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one table or figure of the paper at the scaled
+configuration (DESIGN.md §2), prints the same rows/series the paper
+reports, persists them under ``benchmarks/results/``, and asserts the
+reproduction's *shape targets* (DESIGN.md §4) — directional claims, not
+absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def persist(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a result block and save it to benchmarks/results/<name>.txt."""
+    print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,65 @@
+"""Quickstart: train Calibre (SimCLR) on a small federated workload.
+
+Runs the paper's two-stage pipeline end to end in under a minute on a
+laptop CPU:
+
+1. training stage — 20 clients collaboratively train a global encoder with
+   the calibrated SimCLR objective (L = l_c + l_s + α(l_p + l_n)) under
+   divergence-aware aggregation;
+2. personalization stage — every client trains a linear classifier on its
+   frozen local features and reports test accuracy.
+
+Usage:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import Calibre
+from repro.data import make_cifar10_like, partition_dirichlet
+from repro.eval import fairness_report
+from repro.fl import FederatedConfig, FederatedServer, build_federation
+from repro.nn import MLPEncoder
+
+
+def main():
+    # --- data: a CIFAR-10-like synthetic dataset, Dirichlet(0.3) label skew
+    dataset = make_cifar10_like(image_size=12, train_per_class=100,
+                                test_per_class=16, seed=0)
+    config = FederatedConfig(
+        num_clients=20, clients_per_round=6, rounds=15, local_epochs=2,
+        batch_size=32, personalization_epochs=10, personalization_lr=0.05,
+        test_fraction=0.3, seed=0,
+    )
+    partitions = partition_dirichlet(
+        dataset.train.labels, config.num_clients, concentration=0.3,
+        samples_per_client=50, rng=np.random.default_rng(0),
+    )
+    clients = build_federation(dataset, partitions, test_fraction=0.3, seed=0)
+
+    # --- model: every replica must start from identical weights, so the
+    # factory reseeds its own generator on each call.
+    input_dim = dataset.channels * dataset.image_size**2
+
+    def encoder_factory():
+        return MLPEncoder(input_dim, hidden_dims=(64, 32),
+                          rng=np.random.default_rng(42))
+
+    # --- algorithm: Calibre over SimCLR (the paper's strongest variant)
+    algorithm = Calibre(
+        config, num_classes=dataset.num_classes, encoder_factory=encoder_factory,
+        ssl_name="simclr", alpha=0.3, num_prototypes=5,
+    )
+
+    server = FederatedServer(algorithm, clients, config, verbose=True)
+    result = server.run()
+
+    report = fairness_report(result.accuracy_vector())
+    print("\n=== Calibre (SimCLR) personalization results ===")
+    print(f"mean accuracy : {report.mean:.4f}")
+    print(f"variance      : {report.variance:.5f}   (the paper's fairness measure)")
+    print(f"min / max     : {report.minimum:.4f} / {report.maximum:.4f}")
+    print(f"worst decile  : {report.worst_decile_mean:.4f}")
+
+
+if __name__ == "__main__":
+    main()

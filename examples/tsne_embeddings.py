@@ -1,0 +1,43 @@
+"""Representation quality: regenerate the paper's t-SNE figures (Figs. 1/5/6).
+
+Trains an uncalibrated pFL-SimCLR encoder and a Calibre (SimCLR) encoder on
+the same federation, embeds six clients' local features with t-SNE, renders
+ASCII scatters (class id = glyph), and prints silhouette scores — the
+quantitative version of the paper's "fuzzy vs. clear cluster boundaries".
+
+Usage:  python examples/tsne_embeddings.py
+"""
+
+from repro.eval import NonIIDSetting
+from repro.experiments import compute_method_embeddings
+from repro.viz import ascii_scatter
+
+
+def main():
+    results = compute_method_embeddings(
+        ["pfl-simclr", "calibre-simclr"],
+        dataset_name="cifar10",
+        setting=NonIIDSetting("dirichlet", 0.3, 50),
+        num_embed_clients=6,
+        samples_per_client=15,
+        seed=0,
+        tsne_iterations=300,
+        verbose=True,
+    )
+    for result in results:
+        print()
+        print(ascii_scatter(
+            result.embedding, result.labels, width=64, height=20,
+            title=(f"{result.method}: t-SNE of client representations "
+                   f"(feature silhouette {result.feature_silhouette:.4f})"),
+        ))
+    print("\nInterpretation: higher silhouette = clearer class clusters.")
+    uncalibrated, calibrated = results
+    gain = calibrated.feature_silhouette - uncalibrated.feature_silhouette
+    print(f"Calibre improves feature-space silhouette by {gain:+.4f} "
+          f"({uncalibrated.feature_silhouette:.4f} -> "
+          f"{calibrated.feature_silhouette:.4f}).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: the sandbox lacks the ``wheel`` package, so editable
+installs must go through ``setup.py develop`` (``pip install -e . --no-use-pep517``)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""Reproduction of *Calibre: Towards Fair and Accurate Personalized Federated
+Learning with Self-Supervised Learning* (Chen, Su, Li — ICDCS 2024).
+
+Subpackages
+-----------
+``repro.nn``
+    Numpy autograd engine, layers, optimizers, encoders (PyTorch substitute).
+``repro.data``
+    Synthetic CIFAR-10/100 and STL-10 equivalents, non-i.i.d. partitioners,
+    SSL augmentations, data loaders.
+``repro.cluster`` / ``repro.manifold``
+    KMeans and t-SNE substrates (sklearn substitutes).
+``repro.ssl``
+    SimCLR, BYOL, SimSiam, MoCoV2, SwAV, SMoG with a common interface.
+``repro.fl``
+    Federated-learning simulator: server, clients, sampling, aggregation,
+    and the linear-head personalization stage.
+``repro.core``
+    The paper's contribution: Calibre's prototype regularizers (L_n, L_p),
+    prototype loss l_c, and divergence-aware aggregation.
+``repro.baselines``
+    FedAvg(-FT), SCAFFOLD(-FT), LG-FedAvg, FedPer, FedRep, FedBABU,
+    PerFedAvg, APFL, Ditto, FedEMA, Script-*, and uncalibrated pFL-SSL.
+``repro.eval`` / ``repro.experiments``
+    Fairness metrics, the method registry, and per-figure experiment
+    harnesses for Figs. 1–8 and Table I.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,38 @@
+"""``repro.baselines`` — every comparison method from the paper's §V-A.
+
+Supervised FL: FedAvg, FedAvg-FT, SCAFFOLD, SCAFFOLD-FT, LG-FedAvg,
+FedPer, FedRep, FedBABU, PerFedAvg, APFL, Ditto.
+Self-supervised FL: pFL-{SimCLR, BYOL, SimSiam, MoCoV2} (via
+:class:`PFLSSL`) and FedEMA.
+Local-only controls: Script-Fair / Script-Convergent.
+"""
+
+from .apfl import APFL
+from .ditto import Ditto
+from .fedbabu import FedBABU
+from .fedema import FedEMA
+from .fedper import FedPer
+from .fedrep import FedRep
+from .lgfedavg import LGFedAvg
+from .perfedavg import PerFedAvg
+from .pfl_ssl import PFLSSL
+from .scaffold import Scaffold
+from .script import ScriptLocal
+from .supervised import SupervisedFL, evaluate_model, train_supervised_epochs
+
+__all__ = [
+    "SupervisedFL",
+    "train_supervised_epochs",
+    "evaluate_model",
+    "Scaffold",
+    "FedPer",
+    "FedRep",
+    "FedBABU",
+    "LGFedAvg",
+    "PerFedAvg",
+    "APFL",
+    "Ditto",
+    "FedEMA",
+    "PFLSSL",
+    "ScriptLocal",
+]

@@ -1,0 +1,69 @@
+"""FedRep (Collins et al., ICML 2021): shared representation, local heads,
+with *sequential* head-then-body local training.
+
+Each participating client first fits its local head to the current global
+representation (encoder frozen), then takes gradient steps on the encoder
+with the head frozen.  Only the encoder is communicated.
+"""
+
+from __future__ import annotations
+
+from ..fl.algorithm import ClientUpdate
+from ..fl.client import ClientData
+from ..nn.serialize import StateDict, split_state
+from .fedper import FedPer
+from .supervised import train_supervised_epochs
+
+__all__ = ["FedRep"]
+
+
+class FedRep(FedPer):
+    def __init__(self, config, num_classes, encoder_factory,
+                 head_epochs: int = 2, name: str = "fedrep"):
+        super().__init__(config, num_classes, encoder_factory, name=name)
+        if head_epochs < 1:
+            raise ValueError("head_epochs must be >= 1")
+        self.head_epochs = head_epochs
+
+    def local_update(self, client: ClientData, global_state: StateDict,
+                     round_index: int) -> ClientUpdate:
+        model = self._assemble(client, global_state)
+        rng = self.rng_for(client, round_index)
+        config = self.config
+
+        # Phase 1: head only, encoder frozen.
+        model.encoder.requires_grad_(False)
+        model.head.requires_grad_(True)
+        head_loss = train_supervised_epochs(
+            model, client.train,
+            epochs=self.head_epochs,
+            batch_size=config.batch_size,
+            learning_rate=config.learning_rate,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+            rng=rng,
+            parameters=model.head.parameters(),
+        )
+        # Phase 2: encoder only, head frozen.
+        model.encoder.requires_grad_(True)
+        model.head.requires_grad_(False)
+        body_loss = train_supervised_epochs(
+            model, client.train,
+            epochs=config.local_epochs,
+            batch_size=config.batch_size,
+            learning_rate=config.learning_rate,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+            rng=rng,
+            parameters=model.encoder.parameters(),
+        )
+        model.requires_grad_(True)
+        full_state = model.state_dict()
+        encoder_state, head_state = split_state(full_state, "encoder")
+        client.store[self._local_head_key()] = head_state
+        return ClientUpdate(
+            client_id=client.client_id,
+            state=encoder_state,
+            weight=float(client.num_train_samples),
+            metrics={"loss": body_loss, "head_loss": head_loss},
+        )

@@ -1,0 +1,88 @@
+"""LG-FedAvg (Liang et al., 2019): local representations, global head.
+
+The mirror image of FedPer: each client keeps a *local encoder* learning
+client-specific representations, while the classifier head is shared and
+averaged globally.  Novel clients receive the initial encoder weights plus
+the global head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fl.algorithm import ClientUpdate
+from ..fl.client import ClientData, derive_rng
+from ..fl.personalization import PersonalizationResult, train_linear_probe
+from ..nn.serialize import StateDict, split_state
+from .supervised import SupervisedFL, train_supervised_epochs
+
+__all__ = ["LGFedAvg"]
+
+
+class LGFedAvg(SupervisedFL):
+    def __init__(self, config, num_classes, encoder_factory, name: str = "lg-fedavg"):
+        super().__init__(config, num_classes, encoder_factory, fine_tune_head=True,
+                         name=name)
+
+    def build_global_state(self) -> StateDict:
+        _, head_state = split_state(self._initial_state, "encoder")
+        return {k: v.copy() for k, v in head_state.items()}
+
+    def _local_encoder_key(self) -> str:
+        return f"{self.name}/encoder"
+
+    def _assemble(self, client: ClientData, global_state: StateDict):
+        """Template = client's persistent encoder + global head."""
+        model = self._template
+        model.load_state_dict(self._initial_state)
+        encoder_state = client.store.get(self._local_encoder_key())
+        if encoder_state is not None:
+            model.load_state_dict(encoder_state, strict=False)
+        model.load_state_dict(global_state, strict=False)
+        model.requires_grad_(True)
+        return model
+
+    def local_update(self, client: ClientData, global_state: StateDict,
+                     round_index: int) -> ClientUpdate:
+        model = self._assemble(client, global_state)
+        rng = self.rng_for(client, round_index)
+        loss = train_supervised_epochs(
+            model, client.train,
+            epochs=self.config.local_epochs,
+            batch_size=self.config.batch_size,
+            learning_rate=self.config.learning_rate,
+            momentum=self.config.momentum,
+            weight_decay=self.config.weight_decay,
+            rng=rng,
+        )
+        encoder_state, head_state = split_state(model.state_dict(), "encoder")
+        client.store[self._local_encoder_key()] = encoder_state
+        return ClientUpdate(
+            client_id=client.client_id,
+            state=head_state,
+            weight=float(client.num_train_samples),
+            metrics={"loss": loss},
+        )
+
+    def extract_features(self, client: ClientData, global_state: StateDict,
+                         images: np.ndarray) -> np.ndarray:
+        model = self._assemble(client, global_state)
+        return model.features(images)
+
+    def personalize(self, client: ClientData, global_state: StateDict
+                    ) -> PersonalizationResult:
+        config = self.config
+        rng = derive_rng(config.seed, 9_999, client.client_id)
+        model = self._assemble(client, global_state)
+        train_features = model.features(client.train.images)
+        test_features = model.features(client.test.images)
+        return train_linear_probe(
+            train_features, client.train.labels,
+            test_features, client.test.labels,
+            num_classes=self.num_classes,
+            epochs=config.personalization_epochs,
+            learning_rate=config.personalization_lr,
+            batch_size=config.personalization_batch_size,
+            rng=rng,
+            head=model.head,
+        )

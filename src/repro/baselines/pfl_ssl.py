@@ -1,0 +1,165 @@
+"""pFL-SSL: the paper's uncalibrated two-stage baseline (§III-B).
+
+Train the global encoder with a plain SSL objective under FedAvg
+aggregation, then personalize a linear classifier per client on frozen
+features.  Instantiating this with SimCLR/BYOL/SimSiam/MoCoV2 gives the
+paper's pFL-SimCLR, pFL-BYOL, pFL-SimSiam, and pFL-MoCoV2 rows — the
+methods whose "fuzzy class boundaries" motivate Calibre (§III-C, Figs. 1-2).
+
+:class:`repro.core.calibre.Calibre` subclasses this algorithm and overrides
+exactly the two pieces the paper changes: the local loss (prototype
+regularizers) and the server aggregation (divergence-aware weighting).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..data.augment import TwoViewAugment, default_ssl_augment
+from ..data.loader import batch_iterator
+from ..fl.algorithm import ClientUpdate, FederatedAlgorithm
+from ..fl.client import ClientData, derive_rng
+from ..fl.config import FederatedConfig
+from ..nn import SGD
+from ..nn.serialize import StateDict
+from ..ssl import SSLMethod, SSLOutputs, build_ssl_method
+
+__all__ = ["PFLSSL"]
+
+
+class PFLSSL(FederatedAlgorithm):
+    """Two-stage personalized FL with a pluggable SSL training objective."""
+
+    def __init__(
+        self,
+        config: FederatedConfig,
+        num_classes: int,
+        encoder_factory,
+        ssl_name: str = "simclr",
+        projection_dim: int = 32,
+        hidden_dim: int = 64,
+        augment: Optional[TwoViewAugment] = None,
+        ssl_kwargs: Optional[Dict] = None,
+        persist_local_state: bool = True,
+    ):
+        super().__init__(config, num_classes)
+        self.ssl_name = ssl_name.lower()
+        self.name = f"pfl-{self.ssl_name}"
+        self.encoder_factory = encoder_factory
+        self.projection_dim = projection_dim
+        self.hidden_dim = hidden_dim
+        self.augment = augment if augment is not None else default_ssl_augment()
+        self.ssl_kwargs = dict(ssl_kwargs or {})
+        self.persist_local_state = persist_local_state
+        # One template method instance is reused for every local update;
+        # state is swapped in/out through state dicts.
+        self._template = self._build_method(derive_rng(config.seed, 0))
+        self._initial_state = self._template.state_dict()
+        self._initial_extra = self._template.extra_state()
+
+    # ------------------------------------------------------------------
+    def _build_method(self, rng: np.random.Generator) -> SSLMethod:
+        return build_ssl_method(
+            self.ssl_name,
+            self.encoder_factory,
+            projection_dim=self.projection_dim,
+            hidden_dim=self.hidden_dim,
+            rng=rng,
+            **self.ssl_kwargs,
+        )
+
+    def build_global_state(self) -> StateDict:
+        self._template.load_state_dict(self._initial_state)
+        if self._initial_extra:
+            self._template.load_extra_state(self._initial_extra)
+        return self._template.global_state()
+
+    # ------------------------------------------------------------------
+    # Local training
+    # ------------------------------------------------------------------
+    def _restore_client_method(self, client: ClientData,
+                               global_state: StateDict) -> SSLMethod:
+        """Load the template with this client's local state + the global model."""
+        method = self._template
+        key = f"{self.name}/local"
+        if self.persist_local_state and key in client.store:
+            saved_state, saved_extra = client.store[key]
+            method.load_state_dict(saved_state)
+            if saved_extra:
+                method.load_extra_state(saved_extra)
+        else:
+            method.load_state_dict(self._initial_state)
+            if self._initial_extra:
+                method.load_extra_state(self._initial_extra)
+        method.load_global_state(global_state)
+        return method
+
+    def _save_client_method(self, client: ClientData, method: SSLMethod) -> None:
+        if self.persist_local_state:
+            client.store[f"{self.name}/local"] = (
+                method.state_dict(), method.extra_state()
+            )
+
+    def local_loss(self, method: SSLMethod, outputs: SSLOutputs,
+                   rng: np.random.Generator):
+        """The training-stage loss; pFL-SSL uses the bare SSL objective.
+
+        Returns (loss_tensor, metrics_dict); Calibre overrides this to add
+        the prototype regularizers of Algorithm 1.
+        """
+        return outputs.loss, {}
+
+    def local_update(self, client: ClientData, global_state: StateDict,
+                     round_index: int) -> ClientUpdate:
+        config = self.config
+        rng = self.rng_for(client, round_index)
+        method = self._restore_client_method(client, global_state)
+        method.train()
+        optimizer = SGD(
+            method.parameters(),
+            lr=config.learning_rate,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+        )
+        pool = client.ssl_pool()
+        total_loss, batch_count = 0.0, 0
+        aggregated: Dict[str, float] = {}
+        for _ in range(config.local_epochs):
+            for batch in batch_iterator(len(pool), config.batch_size, shuffle=True,
+                                        rng=rng):
+                if batch.shape[0] < 2:
+                    continue  # SSL objectives need at least one positive pair
+                images = pool.images[batch]
+                view_e, view_o = self.augment(images, rng)
+                outputs = method.compute(view_e, view_o)
+                loss, metrics = self.local_loss(method, outputs, rng)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                method.post_step()
+                total_loss += loss.item()
+                batch_count += 1
+                for name, value in metrics.items():
+                    aggregated[name] = aggregated.get(name, 0.0) + value
+        self._save_client_method(client, method)
+        metrics = {"loss": total_loss / max(batch_count, 1)}
+        for name, value in aggregated.items():
+            metrics[name] = value / max(batch_count, 1)
+        return ClientUpdate(
+            client_id=client.client_id,
+            state=method.global_state(),
+            weight=float(client.num_train_samples),
+            metrics=metrics,
+        )
+
+    # ------------------------------------------------------------------
+    # Personalization support
+    # ------------------------------------------------------------------
+    def extract_features(self, client: ClientData, global_state: StateDict,
+                         images: np.ndarray) -> np.ndarray:
+        method = self._template
+        method.load_state_dict(self._initial_state)
+        method.load_global_state(global_state)
+        return method.encode(images)

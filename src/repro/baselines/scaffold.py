@@ -1,0 +1,135 @@
+"""SCAFFOLD (Karimireddy et al., ICML 2020): stochastic controlled averaging.
+
+Client drift under non-i.i.d. data is corrected with control variates: the
+server keeps ``c`` and every client keeps ``c_i``; local SGD steps use the
+corrected gradient ``g - c_i + c``.  After K local steps the client updates
+``c_i ← c_i - c + (x - y_i)/(K·lr)`` and ships both the model delta and the
+control delta.  SCAFFOLD-FT adds head fine-tuning at personalization time,
+mirroring FedAvg-FT.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..data.loader import batch_iterator
+from ..fl.algorithm import ClientUpdate
+from ..fl.client import ClientData
+from ..fl.config import FederatedConfig
+from ..nn import Tensor, cross_entropy
+from ..nn.serialize import (
+    StateDict,
+    clone_state,
+    state_add,
+    state_scale,
+    state_sub,
+    weighted_average,
+    zeros_like_state,
+)
+from .supervised import SupervisedFL
+
+__all__ = ["Scaffold"]
+
+
+class Scaffold(SupervisedFL):
+    def __init__(self, config: FederatedConfig, num_classes: int, encoder_factory,
+                 fine_tune_head: bool = False, server_lr: float = 1.0,
+                 name: Optional[str] = None):
+        default = "scaffold-ft" if fine_tune_head else "scaffold"
+        super().__init__(config, num_classes, encoder_factory,
+                         fine_tune_head=fine_tune_head,
+                         name=name if name is not None else default)
+        self.server_lr = server_lr
+        self._server_control: Optional[StateDict] = None
+        self._param_names: Optional[List[str]] = None
+
+    # ------------------------------------------------------------------
+    def build_global_state(self) -> StateDict:
+        state = super().build_global_state()
+        # Control variates cover trainable parameters only (not BN buffers).
+        self._param_names = [name for name, _ in self._template.named_parameters()]
+        self._server_control = {
+            name: np.zeros_like(state[name]) for name in self._param_names
+        }
+        return state
+
+    def _client_control(self, client: ClientData) -> StateDict:
+        key = f"{self.name}/control"
+        if key not in client.store:
+            client.store[key] = {
+                name: np.zeros_like(value) for name, value in self._server_control.items()
+            }
+        return client.store[key]
+
+    # ------------------------------------------------------------------
+    def local_update(self, client: ClientData, global_state: StateDict,
+                     round_index: int) -> ClientUpdate:
+        if self._server_control is None:
+            raise RuntimeError("build_global_state must run before local updates")
+        config = self.config
+        model = self._load_template(global_state)
+        rng = self.rng_for(client, round_index)
+        c_global = self._server_control
+        c_local = self._client_control(client)
+        correction = {
+            name: c_global[name] - c_local[name] for name in c_global
+        }
+
+        params = dict(model.named_parameters())
+        model.train()
+        lr = config.learning_rate
+        total_loss, steps = 0.0, 0
+        for _ in range(config.local_epochs):
+            for batch in batch_iterator(len(client.train), config.batch_size,
+                                        shuffle=True, rng=rng):
+                model.zero_grad()
+                logits = model(Tensor(client.train.images[batch]))
+                loss = cross_entropy(logits, client.train.labels[batch])
+                loss.backward()
+                for name, param in params.items():
+                    if param.grad is None:
+                        continue
+                    param.data -= lr * (param.grad + correction[name])
+                total_loss += loss.item()
+                steps += 1
+
+        new_state = model.state_dict()
+        # c_i^+ = c_i - c + (x - y_i) / (K * lr)
+        if steps > 0:
+            for name in c_local:
+                drift = (global_state[name] - new_state[name]) / (steps * lr)
+                c_local[name] = c_local[name] - c_global[name] + drift
+        # Ship the full new c_i; the server recomputes its mean directly,
+        # which is equivalent to the delta form and friendlier to small cohorts.
+        return ClientUpdate(
+            client_id=client.client_id,
+            state=new_state,
+            weight=float(client.num_train_samples),
+            metrics={"loss": total_loss / max(steps, 1)},
+            payload={"control": clone_state(c_local)},
+        )
+
+    def aggregate(self, updates, global_state: StateDict, round_index: int) -> StateDict:
+        if not updates:
+            return global_state
+        averaged = weighted_average([u.state for u in updates],
+                                    [u.weight for u in updates])
+        if self.server_lr != 1.0:
+            delta = state_sub(averaged, global_state)
+            averaged = state_add(global_state, state_scale(delta, self.server_lr))
+        # Server control: c ← c + (|S|/N) * mean_i (c_i^+ - c_i^old); with the
+        # full new c_i shipped we use the standard running-average form.
+        cohort = len(updates)
+        total_clients = max(self.config.num_clients, cohort)
+        mean_new_control = {
+            name: np.mean([u.payload["control"][name] for u in updates], axis=0)
+            for name in self._server_control
+        }
+        scale = cohort / total_clients
+        for name in self._server_control:
+            self._server_control[name] = (
+                (1.0 - scale) * self._server_control[name] + scale * mean_new_control[name]
+            )
+        return averaged

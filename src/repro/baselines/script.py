@@ -1,0 +1,71 @@
+"""Script baselines: each client trains alone, no federation at all.
+
+The paper's control: "we allow each client to train its personalized model
+(i.e., a linear classifier) separately based solely on their local
+datasets.  Script-Convergent refers to the model trained until convergence,
+whereas Script-Fair corresponds to the model trained after 10 epochs."
+
+The personalized model is a linear classifier over the raw (flattened)
+pixels — no shared encoder exists because nothing is communicated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fl.algorithm import ClientUpdate, FederatedAlgorithm
+from ..fl.client import ClientData, derive_rng
+from ..fl.config import FederatedConfig
+from ..fl.personalization import PersonalizationResult, train_linear_probe
+from ..nn.serialize import StateDict
+
+__all__ = ["ScriptLocal"]
+
+
+class ScriptLocal(FederatedAlgorithm):
+    """Local-only linear classifiers (Script-Fair / Script-Convergent)."""
+
+    def __init__(self, config: FederatedConfig, num_classes: int,
+                 convergent: bool = False, convergent_epochs: int = 100,
+                 name: str = None):
+        super().__init__(config, num_classes)
+        self.convergent = convergent
+        self.convergent_epochs = convergent_epochs
+        self.name = name if name is not None else (
+            "script-convergent" if convergent else "script-fair"
+        )
+
+    def build_global_state(self) -> StateDict:
+        return {}  # nothing is shared
+
+    def local_update(self, client: ClientData, global_state: StateDict,
+                     round_index: int) -> ClientUpdate:
+        # No training stage: clients do not participate in federation.
+        return ClientUpdate(client_id=client.client_id, state={},
+                            weight=float(client.num_train_samples),
+                            metrics={"loss": float("nan")})
+
+    def aggregate(self, updates, global_state: StateDict, round_index: int) -> StateDict:
+        return global_state
+
+    def extract_features(self, client: ClientData, global_state: StateDict,
+                         images: np.ndarray) -> np.ndarray:
+        return images.reshape(images.shape[0], -1)
+
+    def personalize(self, client: ClientData, global_state: StateDict
+                    ) -> PersonalizationResult:
+        config = self.config
+        rng = derive_rng(config.seed, 9_999, client.client_id)
+        epochs = self.convergent_epochs if self.convergent \
+            else config.personalization_epochs
+        return train_linear_probe(
+            self.extract_features(client, global_state, client.train.images),
+            client.train.labels,
+            self.extract_features(client, global_state, client.test.images),
+            client.test.labels,
+            num_classes=self.num_classes,
+            epochs=epochs,
+            learning_rate=config.personalization_lr,
+            batch_size=config.personalization_batch_size,
+            rng=rng,
+        )

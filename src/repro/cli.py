@@ -1,0 +1,155 @@
+"""Command-line interface: run any experiment of the paper from a shell.
+
+Examples
+--------
+List the available methods and experiments::
+
+    python -m repro.cli list
+
+Run one method on a chosen workload::
+
+    python -m repro.cli run --method calibre-simclr --dataset cifar10 \
+        --setting quantity --param 2 --samples 50 --rounds 25
+
+Regenerate a paper panel::
+
+    python -m repro.cli fig3 --panel 0
+    python -m repro.cli fig4 --panel 1
+    python -m repro.cli table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .eval import (
+    NonIIDSetting,
+    available_methods,
+    format_comparison_table,
+    format_ablation_table,
+    format_series_csv,
+    run_experiment,
+)
+from .experiments import (
+    COMPARISON_METHODS,
+    FIG3_PANELS,
+    FIG4_PANELS,
+    run_fig3_panel,
+    run_fig4_panel,
+    run_table1,
+    scaled_spec,
+)
+from .experiments.settings import SCALED_CONFIG
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Calibre reproduction command-line interface"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list methods and experiment panels")
+
+    run_parser = sub.add_parser("run", help="run methods on one workload")
+    run_parser.add_argument("--method", action="append", required=True,
+                            help="method name (repeatable)")
+    run_parser.add_argument("--dataset", default="cifar10",
+                            choices=["cifar10", "cifar100", "stl10"])
+    run_parser.add_argument("--setting", default="quantity",
+                            choices=["quantity", "dirichlet", "iid"])
+    run_parser.add_argument("--param", type=float, default=2.0,
+                            help="classes per client (quantity) or concentration")
+    run_parser.add_argument("--samples", type=int, default=50,
+                            help="samples per client")
+    run_parser.add_argument("--rounds", type=int, default=SCALED_CONFIG.rounds)
+    run_parser.add_argument("--clients", type=int, default=SCALED_CONFIG.num_clients)
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--csv", action="store_true",
+                            help="also print the CSV series")
+
+    fig3_parser = sub.add_parser("fig3", help="regenerate one Fig. 3 panel")
+    fig3_parser.add_argument("--panel", type=int, default=0,
+                             choices=range(len(FIG3_PANELS)))
+    fig3_parser.add_argument("--seed", type=int, default=0)
+    fig3_parser.add_argument("--methods", nargs="*", default=None)
+
+    fig4_parser = sub.add_parser("fig4", help="regenerate one Fig. 4 panel")
+    fig4_parser.add_argument("--panel", type=int, default=0,
+                             choices=range(len(FIG4_PANELS)))
+    fig4_parser.add_argument("--seed", type=int, default=0)
+    fig4_parser.add_argument("--novel", type=int, default=6,
+                             help="number of novel clients")
+
+    table1_parser = sub.add_parser("table1", help="regenerate Table I")
+    table1_parser.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _command_list() -> int:
+    print("methods:")
+    for name in available_methods():
+        print(f"  {name}")
+    print("\nfig3 panels:")
+    for index, (dataset, label, setting) in enumerate(FIG3_PANELS):
+        print(f"  {index}: {dataset} paper:{label} scaled:{setting.label()}")
+    print("\nfig4 panels:")
+    for index, (dataset, label, setting) in enumerate(FIG4_PANELS):
+        print(f"  {index}: {dataset} paper:{label} scaled:{setting.label()}")
+    return 0
+
+
+def _command_run(args) -> int:
+    unknown = [m for m in args.method if m not in available_methods()]
+    if unknown:
+        print(f"unknown methods: {unknown}", file=sys.stderr)
+        return 2
+    config = SCALED_CONFIG.with_overrides(
+        rounds=args.rounds, num_clients=args.clients,
+        clients_per_round=min(SCALED_CONFIG.clients_per_round, args.clients),
+        seed=args.seed,
+    )
+    spec = scaled_spec(
+        args.dataset,
+        NonIIDSetting(args.setting, args.param, args.samples),
+        args.method,
+        seed=args.seed,
+        config=config,
+        name=f"{args.dataset} {args.setting}({args.param}, {args.samples})",
+    )
+    outcome = run_experiment(spec, verbose=True)
+    print()
+    print(format_comparison_table(outcome, title=spec.name))
+    if args.csv:
+        print()
+        print(format_series_csv(outcome))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "fig3":
+        run_fig3_panel(args.panel, methods=args.methods or None, seed=args.seed,
+                       verbose=True)
+        return 0
+    if args.command == "fig4":
+        run_fig4_panel(args.panel, seed=args.seed, num_novel_clients=args.novel,
+                       verbose=True)
+        return 0
+    if args.command == "table1":
+        rows = run_table1(seed=args.seed)
+        print(format_ablation_table(rows))
+        return 0
+    return 2  # unreachable given required=True
+
+
+if __name__ == "__main__":
+    sys.exit(main())

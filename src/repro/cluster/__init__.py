@@ -1,0 +1,5 @@
+"""``repro.cluster`` — KMeans substrate for prototype generation."""
+
+from .kmeans import KMeans, KMeansResult, kmeans, kmeans_plus_plus_init
+
+__all__ = ["KMeans", "KMeansResult", "kmeans", "kmeans_plus_plus_init"]

@@ -1,0 +1,32 @@
+"""``repro.core`` — Calibre, the paper's primary contribution.
+
+Prototype generation (KMeans pseudo-labels over both augmented views), the
+three prototype loss terms of Algorithm 1, divergence-aware aggregation,
+and the :class:`Calibre` federated algorithm wrapping any SSL method.
+"""
+
+from .calibre import Calibre
+from .divergence import divergence_weights
+from .losses import (
+    prototype_classification_loss,
+    prototype_contrastive_loss,
+    prototype_meta_loss,
+)
+from .prototypes import (
+    ViewClusters,
+    average_prototype_distance,
+    cluster_views,
+    differentiable_prototypes,
+)
+
+__all__ = [
+    "Calibre",
+    "divergence_weights",
+    "prototype_meta_loss",
+    "prototype_contrastive_loss",
+    "prototype_classification_loss",
+    "ViewClusters",
+    "cluster_views",
+    "differentiable_prototypes",
+    "average_prototype_distance",
+]

@@ -1,0 +1,133 @@
+"""Calibre's loss terms (paper §IV-B, Algorithm 1).
+
+The total training-stage loss is ``L = l_c + l_s + α (l_p + l_n)``:
+
+* ``l_s`` — the base SSL objective (NT-Xent for Calibre (SimCLR));
+* ``l_n`` (:func:`prototype_meta_loss`) — Algorithm 1 line 17: each view-e
+  encoding is pulled toward the prototype of its cluster (built from view-o
+  encodings) and pushed from encodings of other clusters;
+* ``l_p`` (:func:`prototype_contrastive_loss`) — lines 8-12: the two views'
+  per-cluster prototypes of the projector outputs form positive pairs in an
+  NT-Xent loss, shrinking prototype variance across augmentations;
+* ``l_c`` (:func:`prototype_classification_loss`) — the prototypical-network
+  term softmax(-d(z, v_k)) against pseudo-labels, maximizing I(x'; y'|θ_b)
+  per Theorem 1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.losses import cross_entropy
+from ..nn.tensor import Tensor
+from ..ssl.losses import nt_xent
+from .prototypes import ViewClusters, differentiable_prototypes
+
+__all__ = [
+    "prototype_meta_loss",
+    "prototype_contrastive_loss",
+    "prototype_classification_loss",
+]
+
+
+def prototype_meta_loss(
+    z_e: Tensor,
+    z_o: Tensor,
+    clusters: ViewClusters,
+    temperature: float = 0.5,
+) -> Tensor:
+    """L_n of Algorithm 1 (line 17).
+
+    Prototypes ``v_k`` are differentiable means of view-o encodings per
+    cluster; for every view-e encoding ``z_j`` in cluster k the loss is
+
+        -log  exp(z_j · v_k / τ) / (exp(z_j · v_k / τ) +
+              Σ_{a ∈ I_e, cluster(a) ≠ k} exp(z_a · v_k / τ))
+
+    i.e. the positive is the sample-prototype affinity, the negatives are
+    the affinities of *other clusters'* samples to the same prototype.
+    Encodings and prototypes are L2-normalized for numerical stability.
+    """
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    k = clusters.num_clusters
+    prototypes = differentiable_prototypes(z_o, clusters.labels_o, k, clusters.centers)
+    z_norm = F.normalize(z_e, axis=1)
+    proto_norm = F.normalize(prototypes, axis=1)
+    logits = (z_norm @ proto_norm.transpose()) / temperature  # (N, K)
+
+    # exp with a detached global max subtracted for stability.
+    shift = float(logits.data.max())
+    exp_scores = (logits - shift).exp()  # (N, K)
+
+    membership = np.zeros((z_e.shape[0], k), dtype=z_e.data.dtype)
+    membership[np.arange(clusters.labels_e.shape[0]), clusters.labels_e] = 1.0
+    member_t = Tensor(membership)
+
+    positives = (exp_scores * member_t).sum(axis=1)  # exp(z_j . v_{k_j})
+    column_total = exp_scores.sum(axis=0)  # (K,) over all view-e samples
+    member_total = (exp_scores * member_t).sum(axis=0)  # (K,) same-cluster mass
+    negatives_per_cluster = column_total - member_total  # exclude own cluster
+    negatives = member_t @ negatives_per_cluster  # (N,) pick own cluster's denom
+    losses = -(positives.log() - (positives + negatives).log())
+
+    # Average within each cluster, then across clusters (the paper's
+    # Σ_k (1/N_k) Σ_{j∈I_k^e} form).
+    counts = membership.sum(axis=0)
+    weights = np.zeros_like(counts)
+    nonempty = counts > 0
+    weights[nonempty] = 1.0 / counts[nonempty]
+    per_sample_weight = membership @ weights  # 1/N_{k_j}
+    total = (losses * Tensor(per_sample_weight)).sum()
+    return total / max(int(nonempty.sum()), 1)
+
+
+def prototype_contrastive_loss(
+    h_e: Tensor,
+    h_o: Tensor,
+    clusters: ViewClusters,
+    temperature: float = 0.5,
+) -> Optional[Tensor]:
+    """L_p of Algorithm 1 (lines 8-12).
+
+    The per-cluster prototypes of the two views' projector outputs are
+    contrasted with NT-Xent: matching clusters across views are positives,
+    all other prototypes negatives.  Only clusters populated in *both*
+    views participate; returns None when fewer than two such clusters exist
+    (the caller skips the term for that batch).
+    """
+    k = clusters.num_clusters
+    populated = np.intersect1d(np.unique(clusters.labels_e), np.unique(clusters.labels_o))
+    if populated.shape[0] < 2:
+        return None
+    nu_e = differentiable_prototypes(h_e, clusters.labels_e, k, None
+                                     if populated.shape[0] == k else _zeros_fallback(h_e, k))
+    nu_o = differentiable_prototypes(h_o, clusters.labels_o, k, None
+                                     if populated.shape[0] == k else _zeros_fallback(h_o, k))
+    keep = populated.astype(np.int64)
+    return nt_xent(nu_e[keep], nu_o[keep], temperature)
+
+
+def _zeros_fallback(h: Tensor, k: int) -> np.ndarray:
+    return np.zeros((k, h.shape[1]), dtype=h.data.dtype)
+
+
+def prototype_classification_loss(
+    z: Tensor,
+    clusters: ViewClusters,
+    view: str = "e",
+) -> Tensor:
+    """l_c: prototypical-networks classification against pseudo-labels.
+
+    ``p(y' = k | x') = softmax(-d(z, v_k))`` with Euclidean distance to the
+    (constant) KMeans centers; the pseudo-label is the sample's own cluster.
+    """
+    if view not in ("e", "o"):
+        raise ValueError("view must be 'e' or 'o'")
+    labels = clusters.labels_e if view == "e" else clusters.labels_o
+    centers = Tensor(clusters.centers.astype(z.data.dtype))
+    logits = -F.pairwise_sq_distances(z, centers)
+    return cross_entropy(logits, labels)

@@ -1,0 +1,107 @@
+"""Prototype generation for Calibre (paper §IV-B, Algorithm 1).
+
+Calibre "generates pseudo labels through a straightforward clustering
+algorithm, such as KMeans, thereby the prototype vector for the k-th
+cluster is calculated as the average of encodings assigned to this group."
+
+Clustering runs on the *detached* encodings of both augmented views
+(Algorithm 1 line 13: ``Kr = KMeans(z), z = [z_{2i-1}, z_{2i}]``); the
+prototype tensors themselves are *differentiable* means so the regularizer
+gradients flow back into the encoder through both the samples and their
+prototypes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..cluster import kmeans
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+
+__all__ = ["ViewClusters", "cluster_views", "differentiable_prototypes",
+           "average_prototype_distance"]
+
+
+@dataclass
+class ViewClusters:
+    """KMeans pseudo-labels over the two views of a batch.
+
+    ``centers`` are the (K, d) KMeans centroids (constants); ``labels_e``
+    and ``labels_o`` assign each view's samples to clusters.
+    """
+
+    centers: np.ndarray
+    labels_e: np.ndarray
+    labels_o: np.ndarray
+
+    @property
+    def num_clusters(self) -> int:
+        return self.centers.shape[0]
+
+
+def cluster_views(
+    z_e: Tensor,
+    z_o: Tensor,
+    num_clusters: int,
+    rng: Optional[np.random.Generator] = None,
+) -> ViewClusters:
+    """KMeans over the concatenated (detached) encodings of both views."""
+    if z_e.shape != z_o.shape:
+        raise ValueError(f"view encodings disagree: {z_e.shape} vs {z_o.shape}")
+    combined = np.concatenate([z_e.data, z_o.data], axis=0)
+    result = kmeans(combined, num_clusters, rng=rng)
+    n = z_e.shape[0]
+    return ViewClusters(
+        centers=result.centers,
+        labels_e=result.labels[:n],
+        labels_o=result.labels[n:],
+    )
+
+
+def differentiable_prototypes(
+    features: Tensor, assignments: np.ndarray, num_clusters: int,
+    fallback_centers: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Per-cluster mean of ``features`` as a differentiable (K, d) tensor.
+
+    Clusters with no members in this view fall back to the constant KMeans
+    center (small SSL batches under non-i.i.d. data regularly under-fill
+    clusters; training must not crash).
+    """
+    assignments = np.asarray(assignments)
+    if assignments.shape[0] != features.shape[0]:
+        raise ValueError("assignments must match features on N")
+    membership = np.zeros((features.shape[0], num_clusters), dtype=features.data.dtype)
+    membership[np.arange(assignments.shape[0]), assignments] = 1.0
+    counts = membership.sum(axis=0)
+    empty = counts == 0
+    safe_counts = np.where(empty, 1.0, counts)
+    sums = Tensor(membership).transpose() @ features  # (K, d)
+    prototypes = sums / Tensor(safe_counts.reshape(-1, 1))
+    if np.any(empty):
+        if fallback_centers is None:
+            raise ValueError("empty cluster with no fallback centers")
+        mask = Tensor(np.where(empty, 0.0, 1.0).reshape(-1, 1).astype(features.data.dtype))
+        fallback = Tensor(fallback_centers.astype(features.data.dtype))
+        prototypes = prototypes * mask + fallback * (1.0 - mask)
+    return prototypes
+
+
+def average_prototype_distance(z: Tensor, clusters: ViewClusters) -> float:
+    """Mean Euclidean distance between encodings and their assigned KMeans
+    centers — the paper's *local divergence rate* reported to the server."""
+    combined_labels = np.concatenate([clusters.labels_e, clusters.labels_o])
+    if combined_labels.shape[0] == z.shape[0]:
+        assigned = clusters.centers[combined_labels]
+        data = z.data
+    else:
+        # z holds a single view; use its labels only.
+        assigned = clusters.centers[clusters.labels_e]
+        data = z.data
+        if assigned.shape[0] != data.shape[0]:
+            raise ValueError("encoding/label count mismatch")
+    return float(np.linalg.norm(data - assigned, axis=1).mean())

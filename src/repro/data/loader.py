@@ -1,0 +1,65 @@
+"""Minibatch iteration over array datasets with explicit RNG control."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from .synthetic import DataSplit
+
+__all__ = ["DataLoader", "batch_iterator"]
+
+
+def batch_iterator(
+    count: int,
+    batch_size: int,
+    shuffle: bool,
+    rng: Optional[np.random.Generator] = None,
+    drop_last: bool = False,
+) -> Iterator[np.ndarray]:
+    """Yield index arrays covering ``range(count)`` in batches."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    order = np.arange(count)
+    if shuffle:
+        rng = rng if rng is not None else np.random.default_rng()
+        order = rng.permutation(count)
+    for start in range(0, count, batch_size):
+        batch = order[start : start + batch_size]
+        if drop_last and batch.shape[0] < batch_size:
+            return
+        yield batch
+
+
+class DataLoader:
+    """Iterate (images, labels) minibatches from a :class:`DataSplit`.
+
+    Seeding is explicit: pass a generator to make an epoch's batch order
+    reproducible (FL experiments derive per-client, per-round generators).
+    """
+
+    def __init__(
+        self,
+        split: DataSplit,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.split = split
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def __len__(self) -> int:
+        if self.drop_last:
+            return len(self.split) // self.batch_size
+        return int(np.ceil(len(self.split) / self.batch_size))
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        for batch in batch_iterator(
+            len(self.split), self.batch_size, self.shuffle, self.rng, self.drop_last
+        ):
+            yield self.split.images[batch], self.split.labels[batch]

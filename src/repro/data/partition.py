@@ -1,0 +1,208 @@
+"""Non-i.i.d. data partitioners.
+
+The paper evaluates two label-skew regimes (§V-A):
+
+* **Quantity-based label non-i.i.d.** ``(S, #samples)`` — every client owns
+  samples from exactly ``S`` of the ``K`` classes, with the same number of
+  training samples per client.
+* **Distribution-based label non-i.i.d.** ``(0.3, #samples)`` — each
+  client's label proportions are drawn from a Dirichlet distribution with
+  concentration 0.3.
+
+Both return per-client index arrays into a global label vector, so the same
+partition can be applied to any dataset split.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "partition_iid",
+    "partition_quantity_label",
+    "partition_dirichlet",
+    "stratified_split",
+]
+
+
+def _labels_by_class(labels: np.ndarray, num_classes: int) -> List[np.ndarray]:
+    return [np.flatnonzero(labels == k) for k in range(num_classes)]
+
+
+def partition_iid(
+    labels: np.ndarray, num_clients: int, rng: np.random.Generator,
+    samples_per_client: Optional[int] = None,
+) -> List[np.ndarray]:
+    """Uniformly random, equally sized partition (the homogeneous control)."""
+    labels = np.asarray(labels)
+    if num_clients < 1:
+        raise ValueError("need at least one client")
+    indices = rng.permutation(labels.shape[0])
+    if samples_per_client is None:
+        return [chunk.copy() for chunk in np.array_split(indices, num_clients)]
+    total = samples_per_client * num_clients
+    if total > labels.shape[0]:
+        raise ValueError(
+            f"requested {total} samples but only {labels.shape[0]} available"
+        )
+    return [
+        indices[c * samples_per_client : (c + 1) * samples_per_client].copy()
+        for c in range(num_clients)
+    ]
+
+
+def partition_quantity_label(
+    labels: np.ndarray,
+    num_clients: int,
+    classes_per_client: int,
+    samples_per_client: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> List[np.ndarray]:
+    """Quantity-based label skew: each client draws from exactly ``S`` classes.
+
+    Class slots are assigned round-robin over a shuffled class list so every
+    class is covered when ``num_clients * S >= K``; samples are then drawn
+    without replacement from the chosen classes, as evenly as possible.
+    """
+    labels = np.asarray(labels)
+    rng = rng if rng is not None else np.random.default_rng()
+    num_classes = int(labels.max()) + 1
+    if not 1 <= classes_per_client <= num_classes:
+        raise ValueError(
+            f"classes_per_client must be in [1, {num_classes}], got {classes_per_client}"
+        )
+    if samples_per_client is None:
+        samples_per_client = labels.shape[0] // num_clients
+
+    # Build the class slots: a shuffled repetition of class ids so assignment
+    # pressure is even across classes.
+    total_slots = num_clients * classes_per_client
+    repeats = int(np.ceil(total_slots / num_classes))
+    slot_pool = np.tile(rng.permutation(num_classes), repeats)[:total_slots]
+    rng.shuffle(slot_pool)
+
+    # Fix up duplicate classes within one client by swapping with later slots.
+    slots = slot_pool.reshape(num_clients, classes_per_client)
+    for c in range(num_clients):
+        seen = set()
+        for j in range(classes_per_client):
+            if int(slots[c, j]) in seen:
+                replacement = rng.choice(
+                    [k for k in range(num_classes) if k not in seen]
+                )
+                slots[c, j] = replacement
+            seen.add(int(slots[c, j]))
+
+    by_class = _labels_by_class(labels, num_classes)
+    cursors = [rng.permutation(idx) for idx in by_class]
+    offsets = [0] * num_classes
+
+    def draw(class_id: int, count: int) -> np.ndarray:
+        pool = cursors[class_id]
+        start = offsets[class_id]
+        if start + count > pool.shape[0]:
+            # Recycle the class pool (sampling with replacement across cycles)
+            # so small datasets can still host many clients.
+            cursors[class_id] = np.concatenate([pool, rng.permutation(by_class[class_id])])
+            pool = cursors[class_id]
+        offsets[class_id] = start + count
+        return pool[start : start + count]
+
+    partitions: List[np.ndarray] = []
+    for c in range(num_clients):
+        counts = np.full(classes_per_client, samples_per_client // classes_per_client)
+        counts[: samples_per_client % classes_per_client] += 1
+        chosen = [draw(int(class_id), int(count)) for class_id, count in zip(slots[c], counts)]
+        client_indices = np.concatenate(chosen)
+        rng.shuffle(client_indices)
+        partitions.append(client_indices)
+    return partitions
+
+
+def partition_dirichlet(
+    labels: np.ndarray,
+    num_clients: int,
+    concentration: float = 0.3,
+    samples_per_client: Optional[int] = None,
+    min_samples: int = 2,
+    rng: Optional[np.random.Generator] = None,
+) -> List[np.ndarray]:
+    """Distribution-based label skew via per-client Dirichlet label mixtures.
+
+    Each client c draws p_c ~ Dir(concentration * 1_K) and then samples its
+    quota from the classes according to p_c.  Lower concentration means more
+    skew; the paper uses 0.3.
+    """
+    labels = np.asarray(labels)
+    rng = rng if rng is not None else np.random.default_rng()
+    if concentration <= 0:
+        raise ValueError("concentration must be positive")
+    num_classes = int(labels.max()) + 1
+    if samples_per_client is None:
+        samples_per_client = labels.shape[0] // num_clients
+    if samples_per_client < min_samples:
+        raise ValueError("samples_per_client below min_samples")
+
+    by_class = _labels_by_class(labels, num_classes)
+    cursors = [rng.permutation(idx) for idx in by_class]
+    offsets = [0] * num_classes
+
+    def draw(class_id: int, count: int) -> np.ndarray:
+        pool = cursors[class_id]
+        start = offsets[class_id]
+        if start + count > pool.shape[0]:
+            cursors[class_id] = np.concatenate([pool, rng.permutation(by_class[class_id])])
+            pool = cursors[class_id]
+        offsets[class_id] = start + count
+        return pool[start : start + count]
+
+    partitions: List[np.ndarray] = []
+    for _ in range(num_clients):
+        proportions = rng.dirichlet(np.full(num_classes, concentration))
+        counts = rng.multinomial(samples_per_client, proportions)
+        # Guarantee the client has at least min_samples from its top class so
+        # a stratified train/test split is always possible.
+        if counts.max() < min_samples:
+            counts[int(np.argmax(proportions))] += min_samples - counts.max()
+        chosen = [draw(k, int(count)) for k, count in enumerate(counts) if count > 0]
+        client_indices = np.concatenate(chosen)
+        rng.shuffle(client_indices)
+        partitions.append(client_indices)
+    return partitions
+
+
+def stratified_split(
+    indices: np.ndarray,
+    labels: np.ndarray,
+    test_fraction: float = 0.25,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Split client indices into train/test with matching label proportions.
+
+    The paper evaluates each personalized model on a local test set whose
+    class distribution is consistent with the local training set; a
+    stratified split reproduces that protocol.  Every class with at least
+    two samples contributes at least one test sample.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = rng if rng is not None else np.random.default_rng()
+    indices = np.asarray(indices)
+    local_labels = np.asarray(labels)[indices]
+    train_parts: List[np.ndarray] = []
+    test_parts: List[np.ndarray] = []
+    for class_id in np.unique(local_labels):
+        class_indices = indices[local_labels == class_id]
+        class_indices = rng.permutation(class_indices)
+        if class_indices.shape[0] < 2:
+            train_parts.append(class_indices)
+            continue
+        test_count = max(1, int(round(test_fraction * class_indices.shape[0])))
+        test_count = min(test_count, class_indices.shape[0] - 1)
+        test_parts.append(class_indices[:test_count])
+        train_parts.append(class_indices[test_count:])
+    train = np.concatenate(train_parts) if train_parts else np.zeros(0, dtype=np.int64)
+    test = np.concatenate(test_parts) if test_parts else np.zeros(0, dtype=np.int64)
+    return rng.permutation(train), rng.permutation(test)

@@ -1,0 +1,63 @@
+"""Partition diagnostics: label histograms and heterogeneity measures.
+
+Used by the experiment harness to report how non-i.i.d. a configuration is
+and by tests to assert partitioner invariants.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "label_histogram",
+    "client_label_matrix",
+    "classes_per_client",
+    "heterogeneity_tv",
+    "effective_classes",
+]
+
+
+def label_histogram(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Counts per class for one label vector."""
+    labels = np.asarray(labels)
+    labels = labels[labels >= 0]
+    return np.bincount(labels, minlength=num_classes).astype(np.int64)
+
+
+def client_label_matrix(
+    labels: np.ndarray, partitions: Sequence[np.ndarray], num_classes: int
+) -> np.ndarray:
+    """(num_clients, num_classes) count matrix for a partition."""
+    labels = np.asarray(labels)
+    return np.stack([label_histogram(labels[part], num_classes) for part in partitions])
+
+
+def classes_per_client(matrix: np.ndarray) -> np.ndarray:
+    """Number of distinct classes each client holds."""
+    return (matrix > 0).sum(axis=1)
+
+
+def heterogeneity_tv(matrix: np.ndarray) -> float:
+    """Mean total-variation distance between client label distributions and
+    the global distribution — 0 for i.i.d., approaching 1 for disjoint
+    single-class clients."""
+    counts = matrix.astype(np.float64)
+    totals = counts.sum(axis=1, keepdims=True)
+    if np.any(totals == 0):
+        raise ValueError("a client has no samples")
+    client_dists = counts / totals
+    global_dist = counts.sum(axis=0) / counts.sum()
+    return float(0.5 * np.abs(client_dists - global_dist).sum(axis=1).mean())
+
+
+def effective_classes(matrix: np.ndarray) -> np.ndarray:
+    """Per-client exponentiated entropy of the label distribution (the
+    'effective number of classes' each client sees)."""
+    counts = matrix.astype(np.float64)
+    dists = counts / counts.sum(axis=1, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        logs = np.where(dists > 0, np.log(dists), 0.0)
+    entropy = -(dists * logs).sum(axis=1)
+    return np.exp(entropy)

@@ -1,0 +1,34 @@
+"""``repro.eval`` — fairness metrics, the method registry, and the harness."""
+
+from .harness import (
+    ExperimentOutcome,
+    ExperimentSpec,
+    NonIIDSetting,
+    make_dataset,
+    make_encoder_factory,
+    make_partitions,
+    run_experiment,
+)
+from .metrics import FairnessReport, accuracy_variance, fairness_report, mean_accuracy
+from .registry import METHOD_BUILDERS, available_methods, build_method
+from .reporting import format_ablation_table, format_comparison_table, format_series_csv
+
+__all__ = [
+    "NonIIDSetting",
+    "ExperimentSpec",
+    "ExperimentOutcome",
+    "run_experiment",
+    "make_dataset",
+    "make_encoder_factory",
+    "make_partitions",
+    "FairnessReport",
+    "fairness_report",
+    "mean_accuracy",
+    "accuracy_variance",
+    "METHOD_BUILDERS",
+    "available_methods",
+    "build_method",
+    "format_comparison_table",
+    "format_ablation_table",
+    "format_series_csv",
+]

@@ -1,0 +1,217 @@
+"""End-to-end experiment harness.
+
+An :class:`ExperimentSpec` captures one panel of the paper's evaluation —
+dataset, non-i.i.d. setting, federated configuration, and a method list —
+and :func:`run_experiment` executes every method on *identical partitions*
+(fresh client objects per method, so per-client algorithm state never
+leaks between methods) and returns comparable summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.partition import partition_dirichlet, partition_quantity_label
+from ..data.synthetic import (
+    SyntheticImageDataset,
+    make_cifar10_like,
+    make_cifar100_like,
+    make_stl10_like,
+)
+from ..fl.client import ClientData, build_federation, build_novel_clients
+from ..fl.config import FederatedConfig
+from ..fl.history import RunResult
+from ..fl.server import FederatedServer
+from ..nn import MLPEncoder, SmallConvEncoder, resnet9, resnet18
+from .metrics import FairnessReport, fairness_report
+from .registry import build_method
+
+__all__ = ["NonIIDSetting", "ExperimentSpec", "ExperimentOutcome", "run_experiment",
+           "make_dataset", "make_encoder_factory", "make_partitions"]
+
+DATASET_FACTORIES = {
+    "cifar10": make_cifar10_like,
+    "cifar100": make_cifar100_like,
+    "stl10": make_stl10_like,
+}
+
+ENCODER_KINDS = ("mlp", "smallconv", "resnet9", "resnet18")
+
+
+@dataclass(frozen=True)
+class NonIIDSetting:
+    """The paper's ``(S, #samples)`` / ``(0.3, #samples)`` notation.
+
+    ``kind`` is "quantity" (Q-non-i.i.d.) or "dirichlet" (D-non-i.i.d.);
+    ``parameter`` is S (classes per client) or the Dirichlet concentration.
+    """
+
+    kind: str
+    parameter: float
+    samples_per_client: int
+
+    def __post_init__(self):
+        if self.kind not in ("quantity", "dirichlet", "iid"):
+            raise ValueError(f"unknown non-iid kind '{self.kind}'")
+        if self.samples_per_client < 4:
+            raise ValueError("samples_per_client must be >= 4")
+
+    def label(self) -> str:
+        if self.kind == "quantity":
+            return f"({int(self.parameter)}, {self.samples_per_client})"
+        if self.kind == "dirichlet":
+            return f"({self.parameter}, {self.samples_per_client})"
+        return f"(iid, {self.samples_per_client})"
+
+
+def make_partitions(labels: np.ndarray, num_clients: int, setting: NonIIDSetting,
+                    rng: np.random.Generator) -> List[np.ndarray]:
+    if setting.kind == "quantity":
+        return partition_quantity_label(
+            labels, num_clients, int(setting.parameter),
+            samples_per_client=setting.samples_per_client, rng=rng,
+        )
+    if setting.kind == "dirichlet":
+        return partition_dirichlet(
+            labels, num_clients, setting.parameter,
+            samples_per_client=setting.samples_per_client, rng=rng,
+        )
+    from ..data.partition import partition_iid
+
+    return partition_iid(labels, num_clients, rng,
+                         samples_per_client=setting.samples_per_client)
+
+
+def make_dataset(name: str, seed: int = 0, **kwargs) -> SyntheticImageDataset:
+    key = name.lower()
+    if key not in DATASET_FACTORIES:
+        raise KeyError(f"unknown dataset '{name}'; available: {sorted(DATASET_FACTORIES)}")
+    return DATASET_FACTORIES[key](seed=seed, **kwargs)
+
+
+def make_encoder_factory(kind: str, dataset: SyntheticImageDataset,
+                         width: int = 8, hidden_dims=(64, 32), seed: int = 42):
+    """Return a zero-argument encoder constructor for the chosen backbone.
+
+    The factory reseeds its own generator at every call so all model
+    replicas (online/target/key networks) start from identical weights.
+    """
+    kind = kind.lower()
+    if kind not in ENCODER_KINDS:
+        raise KeyError(f"unknown encoder '{kind}'; available: {ENCODER_KINDS}")
+    channels = dataset.channels
+    image_size = dataset.image_size
+    if kind == "mlp":
+        input_dim = channels * image_size * image_size
+
+        def factory():
+            return MLPEncoder(input_dim, hidden_dims=hidden_dims,
+                              rng=np.random.default_rng(seed))
+    elif kind == "smallconv":
+
+        def factory():
+            return SmallConvEncoder(in_channels=channels, width=width,
+                                    rng=np.random.default_rng(seed))
+    elif kind == "resnet9":
+
+        def factory():
+            return resnet9(width=width, in_channels=channels,
+                           rng=np.random.default_rng(seed))
+    else:
+
+        def factory():
+            return resnet18(width=width, in_channels=channels,
+                            rng=np.random.default_rng(seed))
+
+    return factory
+
+
+@dataclass
+class ExperimentSpec:
+    """One comparison panel: dataset + setting + config + methods."""
+
+    dataset: str
+    setting: NonIIDSetting
+    config: FederatedConfig
+    methods: Sequence[str]
+    encoder: str = "mlp"
+    encoder_width: int = 8
+    encoder_hidden_dims: Sequence[int] = (64, 32)
+    dataset_kwargs: Dict = field(default_factory=dict)
+    method_overrides: Dict[str, Dict] = field(default_factory=dict)
+    seed: int = 0
+    name: str = ""
+
+
+@dataclass
+class ExperimentOutcome:
+    """All methods' results for one spec."""
+
+    spec: ExperimentSpec
+    results: Dict[str, RunResult]
+    reports: Dict[str, FairnessReport]
+    novel_reports: Dict[str, FairnessReport] = field(default_factory=dict)
+
+    def series(self, novel: bool = False) -> List[Dict]:
+        """Rows of (method, mean, variance) — the paper's scatter series."""
+        source = self.novel_reports if novel else self.reports
+        return [
+            {"method": name, "mean": report.mean, "variance": report.variance}
+            for name, report in source.items()
+        ]
+
+
+def run_experiment(spec: ExperimentSpec, verbose: bool = False) -> ExperimentOutcome:
+    """Run every method of ``spec`` on identical data partitions."""
+    dataset = make_dataset(spec.dataset, seed=spec.seed, **spec.dataset_kwargs)
+    partition_rng = np.random.default_rng(spec.seed + 1)
+    partitions = make_partitions(
+        dataset.train.labels, spec.config.num_clients, spec.setting, partition_rng
+    )
+    encoder_factory = make_encoder_factory(
+        spec.encoder, dataset, width=spec.encoder_width,
+        hidden_dims=tuple(spec.encoder_hidden_dims), seed=spec.seed + 42,
+    )
+
+    def novel_partition_fn(labels, num_clients, rng):
+        novel_setting = replace(
+            spec.setting,
+            samples_per_client=min(
+                spec.setting.samples_per_client, max(labels.shape[0] // num_clients, 4)
+            ),
+        )
+        return make_partitions(labels, num_clients, novel_setting, rng)
+
+    results: Dict[str, RunResult] = {}
+    reports: Dict[str, FairnessReport] = {}
+    novel_reports: Dict[str, FairnessReport] = {}
+    for method_name in spec.methods:
+        # Fresh clients per method: identical data, clean per-client stores.
+        clients = build_federation(dataset, partitions,
+                                   test_fraction=spec.config.test_fraction,
+                                   seed=spec.seed + 2)
+        novel_clients = build_novel_clients(
+            dataset, spec.config.num_novel_clients, novel_partition_fn,
+            test_fraction=spec.config.test_fraction, seed=spec.seed + 3,
+        )
+        algorithm = build_method(
+            method_name, spec.config, dataset.num_classes, encoder_factory,
+            **spec.method_overrides.get(method_name, {}),
+        )
+        server = FederatedServer(algorithm, clients, spec.config,
+                                 novel_clients=novel_clients, verbose=verbose)
+        result = server.run()
+        results[method_name] = result
+        reports[method_name] = fairness_report(result.accuracy_vector())
+        if result.novel_accuracies:
+            novel_reports[method_name] = fairness_report(
+                result.accuracy_vector(novel=True)
+            )
+        if verbose:
+            report = reports[method_name]
+            print(f"  {method_name:20s} mean={report.mean:.4f} var={report.variance:.5f}")
+    return ExperimentOutcome(spec=spec, results=results, reports=reports,
+                             novel_reports=novel_reports)

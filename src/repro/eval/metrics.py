@@ -1,0 +1,77 @@
+"""Fairness and performance metrics over per-client accuracy vectors.
+
+The paper reports mean accuracy (overall performance) and the variance of
+client accuracies (model fairness, §III-A: "fairness is defined as the case
+if ... clients can generate personalized models with similar performance").
+Additional distributional metrics (worst-decile accuracy, fairness gap) are
+provided for the extended analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = ["FairnessReport", "fairness_report", "mean_accuracy", "accuracy_variance"]
+
+
+def _as_vector(accuracies: Sequence[float]) -> np.ndarray:
+    vector = np.asarray(list(accuracies), dtype=np.float64)
+    if vector.size == 0:
+        raise ValueError("empty accuracy vector")
+    if np.any((vector < 0) | (vector > 1)):
+        raise ValueError("accuracies must lie in [0, 1]")
+    return vector
+
+
+def mean_accuracy(accuracies: Sequence[float]) -> float:
+    return float(_as_vector(accuracies).mean())
+
+
+def accuracy_variance(accuracies: Sequence[float]) -> float:
+    """Population variance — the paper's fairness measure (lower = fairer)."""
+    return float(_as_vector(accuracies).var())
+
+
+@dataclass
+class FairnessReport:
+    """Summary statistics of one method's per-client accuracies."""
+
+    mean: float
+    variance: float
+    std: float
+    minimum: float
+    maximum: float
+    fairness_gap: float  # max - min
+    worst_decile_mean: float  # mean of the lowest 10% of clients
+    num_clients: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "mean": self.mean,
+            "variance": self.variance,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "fairness_gap": self.fairness_gap,
+            "worst_decile_mean": self.worst_decile_mean,
+            "num_clients": self.num_clients,
+        }
+
+
+def fairness_report(accuracies: Sequence[float]) -> FairnessReport:
+    vector = _as_vector(accuracies)
+    sorted_acc = np.sort(vector)
+    decile = max(1, int(np.ceil(vector.size * 0.1)))
+    return FairnessReport(
+        mean=float(vector.mean()),
+        variance=float(vector.var()),
+        std=float(vector.std()),
+        minimum=float(vector.min()),
+        maximum=float(vector.max()),
+        fairness_gap=float(vector.max() - vector.min()),
+        worst_decile_mean=float(sorted_acc[:decile].mean()),
+        num_clients=int(vector.size),
+    )

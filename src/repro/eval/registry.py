@@ -1,0 +1,110 @@
+"""Method registry: every row of the paper's comparison plots by name.
+
+``build_method(name, ...)`` constructs any algorithm the paper evaluates,
+so experiment harnesses and benchmarks select methods with plain strings:
+
+* supervised FL: ``fedavg``, ``fedavg-ft``, ``scaffold``, ``scaffold-ft``,
+  ``lg-fedavg``, ``fedper``, ``fedrep``, ``fedbabu``, ``perfedavg``,
+  ``apfl``, ``ditto``;
+* self-supervised pFL: ``pfl-simclr``, ``pfl-byol``, ``pfl-simsiam``,
+  ``pfl-mocov2``, ``pfl-swav``, ``pfl-smog``, ``fedema``;
+* the paper's contribution: ``calibre-simclr``, ``calibre-byol``,
+  ``calibre-simsiam``, ``calibre-mocov2``, ``calibre-swav``,
+  ``calibre-smog``;
+* local controls: ``script-fair``, ``script-convergent``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..baselines import (
+    APFL,
+    Ditto,
+    FedBABU,
+    FedEMA,
+    FedPer,
+    FedRep,
+    LGFedAvg,
+    PerFedAvg,
+    PFLSSL,
+    Scaffold,
+    ScriptLocal,
+    SupervisedFL,
+)
+from ..core import Calibre
+from ..fl.algorithm import FederatedAlgorithm
+from ..fl.config import FederatedConfig
+
+__all__ = ["METHOD_BUILDERS", "available_methods", "build_method"]
+
+_SSL_VARIANTS = ("simclr", "byol", "simsiam", "mocov2", "swav", "smog")
+
+
+def _supervised(ctor, **fixed):
+    def build(config, num_classes, encoder_factory, **overrides):
+        return ctor(config, num_classes, encoder_factory, **{**fixed, **overrides})
+
+    return build
+
+
+def _script(convergent: bool):
+    def build(config, num_classes, encoder_factory, **overrides):
+        return ScriptLocal(config, num_classes, convergent=convergent, **overrides)
+
+    return build
+
+
+def _pfl_ssl(ssl_name: str):
+    def build(config, num_classes, encoder_factory, **overrides):
+        return PFLSSL(config, num_classes, encoder_factory, ssl_name=ssl_name,
+                      **overrides)
+
+    return build
+
+
+def _calibre(ssl_name: str):
+    def build(config, num_classes, encoder_factory, **overrides):
+        return Calibre(config, num_classes, encoder_factory, ssl_name=ssl_name,
+                       **overrides)
+
+    return build
+
+
+METHOD_BUILDERS: Dict[str, Callable[..., FederatedAlgorithm]] = {
+    "fedavg": _supervised(SupervisedFL, fine_tune_head=False),
+    "fedavg-ft": _supervised(SupervisedFL, fine_tune_head=True),
+    "scaffold": _supervised(Scaffold, fine_tune_head=False),
+    "scaffold-ft": _supervised(Scaffold, fine_tune_head=True),
+    "lg-fedavg": _supervised(LGFedAvg),
+    "fedper": _supervised(FedPer),
+    "fedrep": _supervised(FedRep),
+    "fedbabu": _supervised(FedBABU),
+    "perfedavg": _supervised(PerFedAvg),
+    "apfl": _supervised(APFL),
+    "ditto": _supervised(Ditto),
+    "fedema": _supervised(FedEMA),
+    "script-fair": _script(convergent=False),
+    "script-convergent": _script(convergent=True),
+}
+for _variant in _SSL_VARIANTS:
+    METHOD_BUILDERS[f"pfl-{_variant}"] = _pfl_ssl(_variant)
+    METHOD_BUILDERS[f"calibre-{_variant}"] = _calibre(_variant)
+
+
+def available_methods() -> List[str]:
+    return sorted(METHOD_BUILDERS)
+
+
+def build_method(
+    name: str,
+    config: FederatedConfig,
+    num_classes: int,
+    encoder_factory,
+    **overrides,
+) -> FederatedAlgorithm:
+    """Construct a registered algorithm by name."""
+    key = name.lower()
+    if key not in METHOD_BUILDERS:
+        raise KeyError(f"unknown method '{name}'; available: {available_methods()}")
+    return METHOD_BUILDERS[key](config, num_classes, encoder_factory, **overrides)

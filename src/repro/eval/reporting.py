@@ -1,0 +1,59 @@
+"""Text rendering of experiment outcomes: the rows/series the paper plots."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .harness import ExperimentOutcome
+from .metrics import FairnessReport
+
+__all__ = ["format_comparison_table", "format_ablation_table", "format_series_csv"]
+
+
+def format_comparison_table(outcome: ExperimentOutcome, novel: bool = False,
+                            title: Optional[str] = None) -> str:
+    """A Fig. 3/4-style table: method, mean accuracy, variance, extremes."""
+    source = outcome.novel_reports if novel else outcome.reports
+    header_title = title or (
+        f"{outcome.spec.dataset} {outcome.spec.setting.label()}"
+        + (" [novel clients]" if novel else "")
+    )
+    lines = [header_title,
+             f"{'method':22s} {'mean':>8s} {'variance':>10s} {'std':>8s} "
+             f"{'min':>8s} {'max':>8s}"]
+    for name in sorted(source, key=lambda m: -source[m].mean):
+        report = source[name]
+        lines.append(
+            f"{name:22s} {report.mean:8.4f} {report.variance:10.5f} "
+            f"{report.std:8.4f} {report.minimum:8.4f} {report.maximum:8.4f}"
+        )
+    return "\n".join(lines)
+
+
+def format_ablation_table(rows: Sequence[Dict], title: str = "Table I") -> str:
+    """Table I layout: L_n / L_p toggles against accuracy mean ± std.
+
+    Each row dict needs keys ``ln`` (bool), ``lp`` (bool) and per-variant
+    ``{variant: (mean, std)}`` entries under ``results``.
+    """
+    if not rows:
+        raise ValueError("no ablation rows")
+    variants = sorted(rows[0]["results"])
+    header = f"{'L_n':>4s} {'L_p':>4s}  " + "  ".join(f"{v:>24s}" for v in variants)
+    lines = [title, header]
+    for row in rows:
+        cells = []
+        for variant in variants:
+            mean, std = row["results"][variant]
+            cells.append(f"{100 * mean:10.2f} ± {100 * std:5.2f}".rjust(24))
+        check = lambda flag: "  ✓ " if flag else "    "
+        lines.append(f"{check(row['ln'])}{check(row['lp'])}  " + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def format_series_csv(outcome: ExperimentOutcome, novel: bool = False) -> str:
+    """CSV of (method, mean, variance) — the data behind one scatter panel."""
+    rows = ["method,mean_accuracy,accuracy_variance"]
+    for entry in outcome.series(novel=novel):
+        rows.append(f"{entry['method']},{entry['mean']:.6f},{entry['variance']:.8f}")
+    return "\n".join(rows)

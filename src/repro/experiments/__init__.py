@@ -1,0 +1,34 @@
+"""``repro.experiments`` — per-figure/table harnesses for the paper's
+evaluation section (Figs. 1-8 and Table I)."""
+
+from .embeddings import FIGURE_METHOD_SETS, EmbeddingResult, compute_method_embeddings
+from .fig3 import FIG3_PANELS, run_fig3_panel
+from .fig4 import FIG4_PANELS, run_fig4_panel
+from .settings import (
+    CALIBRE_OVERRIDES,
+    COMPARISON_METHODS,
+    NOVEL_METHODS,
+    SCALED_CONFIG,
+    SCALED_DATASET_KWARGS,
+    scaled_spec,
+)
+from .table1 import TABLE1_TOGGLES, TABLE1_VARIANTS, run_table1
+
+__all__ = [
+    "run_fig3_panel",
+    "FIG3_PANELS",
+    "run_fig4_panel",
+    "FIG4_PANELS",
+    "run_table1",
+    "TABLE1_VARIANTS",
+    "TABLE1_TOGGLES",
+    "compute_method_embeddings",
+    "EmbeddingResult",
+    "FIGURE_METHOD_SETS",
+    "SCALED_CONFIG",
+    "SCALED_DATASET_KWARGS",
+    "COMPARISON_METHODS",
+    "NOVEL_METHODS",
+    "CALIBRE_OVERRIDES",
+    "scaled_spec",
+]

@@ -1,0 +1,44 @@
+"""Fig. 3 — mean vs. variance of test accuracy across four non-i.i.d. panels.
+
+The paper plots ~20 methods per panel on CIFAR-10 (2, 500), CIFAR-100
+(5, 500), STL-10 (2, 46), and STL-10 (0.3, 80); the headline claims are
+that Calibre (SimCLR) attains the best mean accuracy while staying in the
+low-variance (fair) region.  :func:`run_fig3_panel` regenerates one panel's
+(method, mean, variance) series at the scaled configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..eval.harness import ExperimentOutcome, NonIIDSetting, run_experiment
+from ..eval.reporting import format_comparison_table, format_series_csv
+from .settings import COMPARISON_METHODS, FIG3_PANELS, scaled_spec
+
+__all__ = ["run_fig3_panel", "FIG3_PANELS"]
+
+
+def run_fig3_panel(
+    panel_index: int,
+    methods: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    verbose: bool = False,
+    **spec_overrides,
+) -> ExperimentOutcome:
+    """Run one of the four Fig. 3 panels (0-3)."""
+    if not 0 <= panel_index < len(FIG3_PANELS):
+        raise IndexError(f"panel_index must be in [0, {len(FIG3_PANELS) - 1}]")
+    dataset, paper_label, setting = FIG3_PANELS[panel_index]
+    spec = scaled_spec(
+        dataset,
+        setting,
+        methods if methods is not None else COMPARISON_METHODS,
+        seed=seed,
+        name=f"fig3-panel{panel_index} {dataset} paper:{paper_label}",
+        **spec_overrides,
+    )
+    outcome = run_experiment(spec, verbose=verbose)
+    if verbose:
+        print(format_comparison_table(outcome, title=spec.name))
+        print(format_series_csv(outcome))
+    return outcome

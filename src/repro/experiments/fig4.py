@@ -1,0 +1,55 @@
+"""Fig. 4 — D-non-i.i.d. accuracy/fairness plus novel-client generalization.
+
+The paper's second figure evaluates 150 clients (100 training + 50 novel)
+under Dirichlet(0.3) label skew on CIFAR-10 and CIFAR-100.  The right-hand
+column is the novel-client panel: clients that never participated download
+the final global model and personalize from scratch (§V-D).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..eval.harness import ExperimentOutcome, run_experiment
+from ..eval.reporting import format_comparison_table
+from .settings import FIG4_PANELS, NOVEL_METHODS, SCALED_CONFIG, scaled_spec
+
+__all__ = ["run_fig4_panel", "FIG4_PANELS"]
+
+
+def run_fig4_panel(
+    panel_index: int,
+    methods: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    num_novel_clients: int = 6,
+    config=None,
+    verbose: bool = False,
+    **spec_overrides,
+) -> ExperimentOutcome:
+    """Run one Fig. 4 panel (0 = CIFAR-10, 1 = CIFAR-100), novel clients
+    included — the outcome carries both the training-client and the
+    novel-client series."""
+    if not 0 <= panel_index < len(FIG4_PANELS):
+        raise IndexError(f"panel_index must be in [0, {len(FIG4_PANELS) - 1}]")
+    dataset, paper_label, setting = FIG4_PANELS[panel_index]
+    if config is None:
+        config = SCALED_CONFIG.with_overrides(seed=seed,
+                                              num_novel_clients=num_novel_clients)
+    else:
+        config = config.with_overrides(num_novel_clients=num_novel_clients)
+    spec = scaled_spec(
+        dataset,
+        setting,
+        methods if methods is not None else NOVEL_METHODS,
+        seed=seed,
+        config=config,
+        name=f"fig4-panel{panel_index} {dataset} paper:{paper_label}",
+        **spec_overrides,
+    )
+    outcome = run_experiment(spec, verbose=verbose)
+    if verbose:
+        print(format_comparison_table(outcome, title=spec.name))
+        if outcome.novel_reports:
+            print(format_comparison_table(outcome, novel=True,
+                                          title=spec.name + " [novel]"))
+    return outcome

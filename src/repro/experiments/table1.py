@@ -1,0 +1,67 @@
+"""Table I — ablation of Calibre's regularizers L_n and L_p.
+
+The paper reports accuracy mean ± std on CIFAR-10 Q-non-i.i.d. (2, 500) for
+Calibre over SimCLR, SwAV, and SMoG with the four on/off combinations of
+L_n and L_p.  Directional findings to reproduce (§V-F):
+
+* for Calibre (SimCLR), each regularizer helps and both together are best;
+* for SwAV/SMoG — methods with built-in prototypes — L_n conflicts and can
+  hurt, while L_p still reduces variance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..eval.harness import NonIIDSetting, run_experiment
+from ..eval.reporting import format_ablation_table
+from .settings import scaled_spec
+
+__all__ = ["run_table1", "TABLE1_VARIANTS", "TABLE1_TOGGLES"]
+
+TABLE1_VARIANTS = ("calibre-simclr", "calibre-swav", "calibre-smog")
+TABLE1_TOGGLES: List[Tuple[bool, bool]] = [
+    (False, False),
+    (True, False),
+    (False, True),
+    (True, True),
+]
+
+
+def run_table1(
+    variants: Sequence[str] = TABLE1_VARIANTS,
+    seed: int = 0,
+    setting: Optional[NonIIDSetting] = None,
+    verbose: bool = False,
+    **spec_overrides,
+) -> List[Dict]:
+    """Regenerate Table I rows: one experiment per (L_n, L_p) toggle pair.
+
+    Returns rows of ``{"ln": bool, "lp": bool,
+    "results": {variant: (mean, std)}}`` in the paper's row order.
+    """
+    setting = setting if setting is not None else NonIIDSetting("quantity", 2, 50)
+    rows: List[Dict] = []
+    for use_ln, use_lp in TABLE1_TOGGLES:
+        results: Dict[str, Tuple[float, float]] = {}
+        overrides = {
+            variant: {"num_prototypes": 5, "use_ln": use_ln, "use_lp": use_lp}
+            for variant in variants
+        }
+        spec = scaled_spec(
+            "cifar10",
+            setting,
+            list(variants),
+            seed=seed,
+            name=f"table1 ln={use_ln} lp={use_lp}",
+            method_overrides=overrides,
+            **spec_overrides,
+        )
+        outcome = run_experiment(spec, verbose=verbose)
+        for variant in variants:
+            report = outcome.reports[variant]
+            results[variant] = (report.mean, report.std)
+        rows.append({"ln": use_ln, "lp": use_lp, "results": results})
+    if verbose:
+        print(format_ablation_table(rows))
+    return rows

@@ -1,0 +1,42 @@
+"""``repro.fl`` — the federated-learning simulation framework.
+
+Substitutes for the Plato research framework used by the paper: an
+in-process server/clients simulator with pluggable algorithms, client
+sampling, aggregation, metric history, and the shared linear-probe
+personalization stage.
+"""
+
+from .algorithm import ClientUpdate, FederatedAlgorithm
+from .client import ClientData, build_federation, build_novel_clients, derive_rng
+from .config import PAPER_CONFIG, FederatedConfig
+from .history import RoundRecord, RunResult
+from .models import ENCODER_PREFIX, HEAD_PREFIX, ClassifierModel
+from .personalization import (
+    PersonalizationResult,
+    evaluate_linear_head,
+    train_linear_probe,
+)
+from .sampler import RandomSampler, RoundRobinSampler
+from .server import FederatedServer
+
+__all__ = [
+    "FederatedConfig",
+    "PAPER_CONFIG",
+    "ClientData",
+    "build_federation",
+    "build_novel_clients",
+    "derive_rng",
+    "ClientUpdate",
+    "FederatedAlgorithm",
+    "FederatedServer",
+    "RandomSampler",
+    "RoundRobinSampler",
+    "RoundRecord",
+    "RunResult",
+    "ClassifierModel",
+    "ENCODER_PREFIX",
+    "HEAD_PREFIX",
+    "PersonalizationResult",
+    "train_linear_probe",
+    "evaluate_linear_head",
+]

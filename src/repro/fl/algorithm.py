@@ -1,0 +1,104 @@
+"""The federated-algorithm strategy interface.
+
+A :class:`FederatedAlgorithm` owns model construction and the three phases
+of a pFL experiment:
+
+* ``local_update`` — one sampled client's contribution in a round;
+* ``aggregate`` — combine client updates into the next global state
+  (default: FedAvg's sample-count-weighted average);
+* ``personalize`` — the post-training stage run on *every* client
+  (default: the paper's linear probe on frozen encoder features).
+
+Baselines override the pieces they change; Calibre overrides
+``local_update`` (prototype losses) and ``aggregate`` (divergence-aware
+weighting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.serialize import StateDict, weighted_average
+from .client import ClientData, derive_rng
+from .config import FederatedConfig
+from .personalization import PersonalizationResult, train_linear_probe
+
+__all__ = ["ClientUpdate", "FederatedAlgorithm"]
+
+
+@dataclass
+class ClientUpdate:
+    """What a client sends back to the server after a local update.
+
+    ``payload`` carries algorithm-specific structures beyond the model
+    state (e.g. SCAFFOLD's control-variate deltas).
+    """
+
+    client_id: int
+    state: StateDict
+    weight: float
+    metrics: Dict[str, float] = field(default_factory=dict)
+    payload: Dict[str, object] = field(default_factory=dict)
+
+
+class FederatedAlgorithm:
+    """Base class; subclasses define the model and local training."""
+
+    name = "base"
+
+    def __init__(self, config: FederatedConfig, num_classes: int):
+        self.config = config
+        self.num_classes = num_classes
+
+    # ------------------------------------------------------------------
+    # Required pieces
+    # ------------------------------------------------------------------
+    def build_global_state(self) -> StateDict:
+        """Initial global model snapshot (round 0)."""
+        raise NotImplementedError
+
+    def local_update(self, client: ClientData, global_state: StateDict,
+                     round_index: int) -> ClientUpdate:
+        """Run local training on one client, returning its update."""
+        raise NotImplementedError
+
+    def extract_features(self, client: ClientData, global_state: StateDict,
+                         images: np.ndarray) -> np.ndarray:
+        """Frozen-feature extraction used by the default personalization."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Default behaviours
+    # ------------------------------------------------------------------
+    def aggregate(self, updates: Sequence[ClientUpdate],
+                  global_state: StateDict, round_index: int) -> StateDict:
+        """FedAvg: weighted average of client states by sample count."""
+        if not updates:
+            return global_state
+        return weighted_average([u.state for u in updates], [u.weight for u in updates])
+
+    def personalize(self, client: ClientData, global_state: StateDict
+                    ) -> PersonalizationResult:
+        """The paper's personalization stage: linear probe on frozen features."""
+        config = self.config
+        rng = derive_rng(config.seed, 9_999, client.client_id)
+        train_features = self.extract_features(client, global_state, client.train.images)
+        test_features = self.extract_features(client, global_state, client.test.images)
+        return train_linear_probe(
+            train_features,
+            client.train.labels,
+            test_features,
+            client.test.labels,
+            num_classes=self.num_classes,
+            epochs=config.personalization_epochs,
+            learning_rate=config.personalization_lr,
+            batch_size=config.personalization_batch_size,
+            rng=rng,
+        )
+
+    def rng_for(self, client: ClientData, round_index: int) -> np.random.Generator:
+        """Per-(seed, round, client) generator."""
+        return derive_rng(self.config.seed, round_index, client.client_id)

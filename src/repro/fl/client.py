@@ -1,0 +1,133 @@
+"""Client-side containers: local datasets and persistent per-client state.
+
+The federation is built once from a dataset + partition; each client holds a
+stratified local train/test split (the paper evaluates personalized models
+on a local test set with the same class distribution as the local training
+set), an optional shard of unlabeled data (STL-10), and a ``store`` dict
+that stateful algorithms (SCAFFOLD, APFL, Ditto, FedPer, ...) use to keep
+per-client variables across rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.partition import stratified_split
+from ..data.synthetic import DataSplit, SyntheticImageDataset
+
+__all__ = ["ClientData", "build_federation", "build_novel_clients", "derive_rng"]
+
+
+@dataclass
+class ClientData:
+    """One client's local data and persistent algorithm state."""
+
+    client_id: int
+    train: DataSplit
+    test: DataSplit
+    unlabeled: Optional[DataSplit] = None
+    is_novel: bool = False
+    store: Dict = field(default_factory=dict)
+
+    @property
+    def num_train_samples(self) -> int:
+        return len(self.train)
+
+    def ssl_pool(self) -> DataSplit:
+        """Images available for self-supervised training: the labeled local
+        training images plus any unlabeled shard (labels are unused)."""
+        if self.unlabeled is None or len(self.unlabeled) == 0:
+            return self.train
+        images = np.concatenate([self.train.images, self.unlabeled.images])
+        labels = np.concatenate(
+            [self.train.labels, np.full(len(self.unlabeled), -1, dtype=np.int64)]
+        )
+        return DataSplit(images, labels)
+
+
+def derive_rng(seed: int, *streams: int) -> np.random.Generator:
+    """Deterministic per-(round, client, ...) generator derivation."""
+    return np.random.default_rng([seed] + [int(s) + 1 for s in streams])
+
+
+def build_federation(
+    dataset: SyntheticImageDataset,
+    partitions: Sequence[np.ndarray],
+    test_fraction: float = 0.25,
+    seed: int = 0,
+    share_unlabeled: bool = True,
+) -> List[ClientData]:
+    """Materialize clients from a dataset and a train-index partition.
+
+    Each client's indices are stratified-split into local train/test; the
+    dataset's unlabeled pool (STL-10) is sharded uniformly across clients
+    when ``share_unlabeled`` is set.
+    """
+    rng = np.random.default_rng(seed)
+    labels = dataset.train.labels
+    clients: List[ClientData] = []
+    unlabeled_shards: List[Optional[DataSplit]] = [None] * len(partitions)
+    if share_unlabeled and len(dataset.unlabeled) > 0:
+        order = rng.permutation(len(dataset.unlabeled))
+        chunks = np.array_split(order, len(partitions))
+        unlabeled_shards = [dataset.unlabeled.subset(chunk) for chunk in chunks]
+    for client_id, indices in enumerate(partitions):
+        train_idx, test_idx = stratified_split(indices, labels, test_fraction, rng)
+        if train_idx.size == 0 or test_idx.size == 0:
+            raise ValueError(
+                f"client {client_id} received a degenerate split "
+                f"(train={train_idx.size}, test={test_idx.size})"
+            )
+        clients.append(
+            ClientData(
+                client_id=client_id,
+                train=dataset.train.subset(train_idx),
+                test=dataset.train.subset(test_idx),
+                unlabeled=unlabeled_shards[client_id],
+            )
+        )
+    return clients
+
+
+def build_novel_clients(
+    dataset: SyntheticImageDataset,
+    num_clients: int,
+    partition_fn,
+    test_fraction: float = 0.25,
+    seed: int = 1_000_003,
+    first_id: int = 10_000,
+) -> List[ClientData]:
+    """Create clients that never participate in training (paper §V-D).
+
+    Novel clients draw *fresh* samples from the generative process (the
+    equivalent of held-out users), partitioned with the same non-i.i.d.
+    scheme as the training clients.  ``partition_fn(labels, num_clients,
+    rng)`` must return per-client index lists.
+    """
+    if num_clients == 0:
+        return []
+    rng = np.random.default_rng(seed)
+    per_class = max(
+        8, (len(dataset.train) // max(dataset.num_classes, 1)) // max(num_clients // 4, 1)
+    )
+    labels = np.repeat(np.arange(dataset.num_classes), per_class)
+    rng.shuffle(labels)
+    fresh = dataset.sample(labels, seed=seed + 1)
+    partitions = partition_fn(fresh.labels, num_clients, rng)
+    clients: List[ClientData] = []
+    for offset, indices in enumerate(partitions):
+        train_idx, test_idx = stratified_split(indices, fresh.labels, test_fraction, rng)
+        if train_idx.size == 0 or test_idx.size == 0:
+            raise ValueError(f"novel client {offset} received a degenerate split")
+        clients.append(
+            ClientData(
+                client_id=first_id + offset,
+                train=fresh.subset(train_idx),
+                test=fresh.subset(test_idx),
+                is_novel=True,
+            )
+        )
+    return clients

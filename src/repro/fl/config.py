@@ -1,0 +1,69 @@
+"""Configuration dataclasses for federated experiments.
+
+``FederatedConfig`` captures the paper's learning settings (§V-A): 100
+clients, 10 sampled per round, 200 rounds, 3 local epochs, 10-epoch
+personalization with SGD at lr 0.05 and batch size 32, plus 50 novel
+clients.  Benchmark configurations scale these down for CPU (DESIGN.md §2)
+without changing any code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class FederatedConfig:
+    """Knobs of one federated run."""
+
+    num_clients: int = 20
+    clients_per_round: int = 5
+    rounds: int = 10
+    local_epochs: int = 3
+    batch_size: int = 32
+    learning_rate: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    personalization_epochs: int = 10
+    personalization_lr: float = 0.05
+    personalization_batch_size: int = 32
+    test_fraction: float = 0.25
+    num_novel_clients: int = 0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.num_clients < 1:
+            raise ValueError("num_clients must be >= 1")
+        if not 1 <= self.clients_per_round <= self.num_clients:
+            raise ValueError("clients_per_round must be in [1, num_clients]")
+        if self.rounds < 0:
+            raise ValueError("rounds must be >= 0")
+        if self.local_epochs < 1:
+            raise ValueError("local_epochs must be >= 1")
+        if self.batch_size < 1 or self.personalization_batch_size < 1:
+            raise ValueError("batch sizes must be >= 1")
+        if self.learning_rate <= 0 or self.personalization_lr <= 0:
+            raise ValueError("learning rates must be positive")
+        if not 0.0 < self.test_fraction < 1.0:
+            raise ValueError("test_fraction must be in (0, 1)")
+        if self.num_novel_clients < 0:
+            raise ValueError("num_novel_clients must be >= 0")
+
+    def with_overrides(self, **kwargs) -> "FederatedConfig":
+        """Return a copy with fields replaced."""
+        return replace(self, **kwargs)
+
+
+PAPER_CONFIG = FederatedConfig(
+    num_clients=100,
+    clients_per_round=10,
+    rounds=200,
+    local_epochs=3,
+    batch_size=32,
+    personalization_epochs=10,
+    personalization_lr=0.05,
+    num_novel_clients=50,
+)
+"""The paper's full-scale configuration (§V-A), kept for reference and for
+anyone running this reproduction on serious hardware."""

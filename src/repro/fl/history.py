@@ -1,0 +1,75 @@
+"""Run bookkeeping: per-round records and final per-client results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["RoundRecord", "RunResult"]
+
+
+@dataclass
+class RoundRecord:
+    """Aggregated metrics for one communication round."""
+
+    round_index: int
+    participant_ids: List[int]
+    mean_loss: float
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class RunResult:
+    """Everything a finished federated run reports.
+
+    ``accuracies`` maps client id to personalized test accuracy for training
+    clients; ``novel_accuracies`` does the same for clients that never
+    participated in training (paper §V-D).
+    """
+
+    algorithm: str
+    accuracies: Dict[int, float]
+    novel_accuracies: Dict[int, float] = field(default_factory=dict)
+    rounds: List[RoundRecord] = field(default_factory=list)
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def accuracy_vector(self, novel: bool = False) -> np.ndarray:
+        source = self.novel_accuracies if novel else self.accuracies
+        return np.array([source[k] for k in sorted(source)], dtype=np.float64)
+
+    @property
+    def mean_accuracy(self) -> float:
+        vector = self.accuracy_vector()
+        return float(vector.mean()) if vector.size else 0.0
+
+    @property
+    def accuracy_variance(self) -> float:
+        """Population variance of client accuracies — the paper's fairness
+        measure (lower is fairer)."""
+        vector = self.accuracy_vector()
+        return float(vector.var()) if vector.size else 0.0
+
+    @property
+    def accuracy_std(self) -> float:
+        return float(np.sqrt(self.accuracy_variance))
+
+    def novel_mean_accuracy(self) -> float:
+        vector = self.accuracy_vector(novel=True)
+        return float(vector.mean()) if vector.size else 0.0
+
+    def novel_accuracy_variance(self) -> float:
+        vector = self.accuracy_vector(novel=True)
+        return float(vector.var()) if vector.size else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        row = {
+            "mean_accuracy": self.mean_accuracy,
+            "accuracy_variance": self.accuracy_variance,
+            "accuracy_std": self.accuracy_std,
+        }
+        if self.novel_accuracies:
+            row["novel_mean_accuracy"] = self.novel_mean_accuracy()
+            row["novel_accuracy_variance"] = self.novel_accuracy_variance()
+        return row

@@ -1,0 +1,45 @@
+"""Client sampling: which clients participate in each round."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .client import ClientData
+
+__all__ = ["RandomSampler", "RoundRobinSampler"]
+
+
+class RandomSampler:
+    """Uniformly sample ``count`` distinct clients each round (the paper's
+    protocol: 10 of 100 clients per round)."""
+
+    def __init__(self, count: int, seed: int = 0):
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self.count = count
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, clients: Sequence[ClientData], round_index: int) -> List[ClientData]:
+        if self.count > len(clients):
+            raise ValueError(
+                f"cannot sample {self.count} of {len(clients)} clients"
+            )
+        chosen = self._rng.choice(len(clients), size=self.count, replace=False)
+        return [clients[i] for i in sorted(chosen)]
+
+
+class RoundRobinSampler:
+    """Deterministic rotation — useful in tests where coverage matters."""
+
+    def __init__(self, count: int):
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self.count = count
+
+    def sample(self, clients: Sequence[ClientData], round_index: int) -> List[ClientData]:
+        n = len(clients)
+        start = (round_index * self.count) % n
+        picked = [(start + offset) % n for offset in range(min(self.count, n))]
+        return [clients[i] for i in picked]

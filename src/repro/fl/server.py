@@ -1,0 +1,102 @@
+"""The federated server: round loop, aggregation, and the evaluation stage.
+
+Mirrors the experiment protocol of §V-A: train the global model for R
+rounds with a sampled subset of clients per round, then have *all* clients
+— training clients and novel clients alike — download the final global
+model and run the personalization stage.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.serialize import StateDict
+from .algorithm import ClientUpdate, FederatedAlgorithm
+from .client import ClientData
+from .config import FederatedConfig
+from .history import RoundRecord, RunResult
+from .sampler import RandomSampler
+
+__all__ = ["FederatedServer"]
+
+
+class FederatedServer:
+    """Coordinates one federated run of a given algorithm."""
+
+    def __init__(
+        self,
+        algorithm: FederatedAlgorithm,
+        clients: Sequence[ClientData],
+        config: FederatedConfig,
+        novel_clients: Sequence[ClientData] = (),
+        sampler=None,
+        verbose: bool = False,
+    ):
+        if not clients:
+            raise ValueError("need at least one client")
+        self.algorithm = algorithm
+        self.clients = list(clients)
+        self.novel_clients = list(novel_clients)
+        self.config = config
+        self.sampler = sampler if sampler is not None else RandomSampler(
+            min(config.clients_per_round, len(self.clients)), seed=config.seed
+        )
+        self.verbose = verbose
+        self.global_state: Optional[StateDict] = None
+        self.round_records: List[RoundRecord] = []
+
+    # ------------------------------------------------------------------
+    def train(self) -> StateDict:
+        """Run the federated training stage and return the final global state."""
+        self.global_state = self.algorithm.build_global_state()
+        for round_index in range(self.config.rounds):
+            participants = self.sampler.sample(self.clients, round_index)
+            updates: List[ClientUpdate] = []
+            for client in participants:
+                update = self.algorithm.local_update(client, self.global_state, round_index)
+                updates.append(update)
+            self.global_state = self.algorithm.aggregate(
+                updates, self.global_state, round_index
+            )
+            losses = [
+                u.metrics["loss"] for u in updates
+                if np.isfinite(u.metrics.get("loss", float("nan")))
+            ]
+            record = RoundRecord(
+                round_index=round_index,
+                participant_ids=[u.client_id for u in updates],
+                mean_loss=float(np.mean(losses)) if losses else float("nan"),
+            )
+            self.round_records.append(record)
+            if self.verbose:
+                print(
+                    f"[{self.algorithm.name}] round {round_index + 1}/{self.config.rounds} "
+                    f"loss={record.mean_loss:.4f}"
+                )
+        return self.global_state
+
+    def personalize_all(self) -> RunResult:
+        """Run the personalization stage on every client (train + novel)."""
+        if self.global_state is None:
+            raise RuntimeError("train() must run before personalize_all()")
+        accuracies = {}
+        for client in self.clients:
+            result = self.algorithm.personalize(client, self.global_state)
+            accuracies[client.client_id] = result.accuracy
+        novel_accuracies = {}
+        for client in self.novel_clients:
+            result = self.algorithm.personalize(client, self.global_state)
+            novel_accuracies[client.client_id] = result.accuracy
+        return RunResult(
+            algorithm=self.algorithm.name,
+            accuracies=accuracies,
+            novel_accuracies=novel_accuracies,
+            rounds=self.round_records,
+        )
+
+    def run(self) -> RunResult:
+        """Full experiment: training stage then personalization stage."""
+        self.train()
+        return self.personalize_all()

@@ -1,0 +1,5 @@
+"""``repro.manifold`` — exact t-SNE for the paper's qualitative figures."""
+
+from .tsne import TSNE, conditional_probabilities, silhouette_score, tsne_embed
+
+__all__ = ["TSNE", "tsne_embed", "conditional_probabilities", "silhouette_score"]

@@ -1,0 +1,184 @@
+"""Exact t-SNE (van der Maaten & Hinton, 2008).
+
+The paper's qualitative results (Figs. 1, 2, 5, 6, 7, 8) are 2-D t-SNE
+embeddings of encoder representations.  sklearn is unavailable offline, so
+this module implements exact t-SNE: perplexity calibration by per-point
+binary search over Gaussian bandwidths, then KL-divergence gradient descent
+with momentum and early exaggeration.  Exact (O(n^2)) computation is fine at
+the few-hundred-point scale of the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["TSNE", "tsne_embed", "conditional_probabilities", "silhouette_score"]
+
+
+def _pairwise_sq_distances(x: np.ndarray) -> np.ndarray:
+    sq = (x**2).sum(axis=1)
+    dist = sq[:, None] + sq[None, :] - 2.0 * (x @ x.T)
+    np.fill_diagonal(dist, 0.0)
+    return np.maximum(dist, 0.0)
+
+
+def _entropy_and_probs(distances_row: np.ndarray, beta: float):
+    """Shannon entropy (nats) and probabilities for one point at bandwidth beta."""
+    exponent = -distances_row * beta
+    exponent -= exponent.max()
+    probs = np.exp(exponent)
+    total = probs.sum()
+    if total <= 0:
+        return 0.0, np.zeros_like(probs)
+    probs = probs / total
+    positive = probs[probs > 1e-12]
+    entropy = float(-(positive * np.log(positive)).sum())
+    return entropy, probs
+
+
+def conditional_probabilities(
+    distances: np.ndarray, perplexity: float, tolerance: float = 1e-5,
+    max_steps: int = 50,
+) -> np.ndarray:
+    """Row-stochastic P with each row's perplexity matched by binary search."""
+    n = distances.shape[0]
+    if perplexity >= n:
+        raise ValueError(f"perplexity {perplexity} must be < number of points {n}")
+    target_entropy = np.log(perplexity)
+    probabilities = np.zeros((n, n))
+    for i in range(n):
+        row = distances[i].copy()
+        row[i] = np.inf
+        beta, beta_min, beta_max = 1.0, 0.0, np.inf
+        entropy, probs = _entropy_and_probs(row, beta)
+        for _ in range(max_steps):
+            if abs(entropy - target_entropy) < tolerance:
+                break
+            if entropy > target_entropy:
+                beta_min = beta
+                beta = beta * 2.0 if np.isinf(beta_max) else (beta + beta_max) / 2.0
+            else:
+                beta_max = beta
+                beta = beta / 2.0 if beta_min == 0.0 else (beta + beta_min) / 2.0
+            entropy, probs = _entropy_and_probs(row, beta)
+        probabilities[i] = probs
+        probabilities[i, i] = 0.0
+    return probabilities
+
+
+@dataclass
+class TSNE:
+    """Configured t-SNE embedder (call :meth:`fit_transform`)."""
+
+    n_components: int = 2
+    perplexity: float = 20.0
+    learning_rate: float = 100.0
+    n_iterations: int = 400
+    early_exaggeration: float = 12.0
+    exaggeration_iterations: int = 80
+    momentum_start: float = 0.5
+    momentum_final: float = 0.8
+    seed: int = 0
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError("t-SNE expects (n, d) input")
+        n = x.shape[0]
+        if n < 5:
+            raise ValueError("need at least 5 points")
+        perplexity = min(self.perplexity, (n - 1) / 3.0)
+
+        distances = _pairwise_sq_distances(x)
+        conditional = conditional_probabilities(distances, perplexity)
+        joint = (conditional + conditional.T) / (2.0 * n)
+        joint = np.maximum(joint, 1e-12)
+
+        rng = np.random.default_rng(self.seed)
+        embedding = 1e-4 * rng.standard_normal((n, self.n_components))
+        velocity = np.zeros_like(embedding)
+        gains = np.ones_like(embedding)
+
+        p_effective = joint * self.early_exaggeration
+        for iteration in range(self.n_iterations):
+            if iteration == self.exaggeration_iterations:
+                p_effective = joint
+            momentum = (
+                self.momentum_start
+                if iteration < self.exaggeration_iterations
+                else self.momentum_final
+            )
+
+            emb_dist = _pairwise_sq_distances(embedding)
+            student = 1.0 / (1.0 + emb_dist)
+            np.fill_diagonal(student, 0.0)
+            q = student / max(student.sum(), 1e-12)
+            q = np.maximum(q, 1e-12)
+
+            coeff = (p_effective - q) * student
+            grad = 4.0 * (
+                np.diag(coeff.sum(axis=1)) @ embedding - coeff @ embedding
+            )
+
+            same_sign = np.sign(grad) == np.sign(velocity)
+            gains = np.where(same_sign, gains * 0.8, gains + 0.2)
+            gains = np.maximum(gains, 0.01)
+            velocity = momentum * velocity - self.learning_rate * gains * grad
+            embedding = embedding + velocity
+            embedding = embedding - embedding.mean(axis=0)
+        return embedding
+
+    def kl_divergence(self, x: np.ndarray, embedding: np.ndarray) -> float:
+        """KL(P || Q) of a fitted embedding (quality diagnostic)."""
+        n = x.shape[0]
+        distances = _pairwise_sq_distances(np.asarray(x, dtype=np.float64))
+        conditional = conditional_probabilities(distances, min(self.perplexity, (n - 1) / 3.0))
+        joint = np.maximum((conditional + conditional.T) / (2.0 * n), 1e-12)
+        emb_dist = _pairwise_sq_distances(embedding)
+        student = 1.0 / (1.0 + emb_dist)
+        np.fill_diagonal(student, 0.0)
+        q = np.maximum(student / max(student.sum(), 1e-12), 1e-12)
+        return float((joint * np.log(joint / q)).sum())
+
+
+def tsne_embed(x: np.ndarray, perplexity: float = 20.0, n_iterations: int = 400,
+               seed: int = 0) -> np.ndarray:
+    """One-call exact t-SNE to 2-D."""
+    return TSNE(perplexity=perplexity, n_iterations=n_iterations,
+                seed=seed).fit_transform(x)
+
+
+def silhouette_score(points: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient — the quantitative stand-in for the
+    paper's visual "clear vs. fuzzy cluster boundaries" claims.
+
+    Returns a value in [-1, 1]; higher means tighter, better-separated
+    clusters.  Points in singleton clusters contribute 0, matching sklearn.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels)
+    unique = np.unique(labels)
+    if unique.shape[0] < 2:
+        raise ValueError("silhouette requires at least two clusters")
+    distances = np.sqrt(_pairwise_sq_distances(points))
+    n = points.shape[0]
+    scores = np.zeros(n)
+    for i in range(n):
+        same = labels == labels[i]
+        same_count = same.sum() - 1
+        if same_count == 0:
+            scores[i] = 0.0
+            continue
+        a = distances[i][same].sum() / same_count
+        b = np.inf
+        for other in unique:
+            if other == labels[i]:
+                continue
+            members = labels == other
+            b = min(b, distances[i][members].mean())
+        denom = max(a, b)
+        scores[i] = 0.0 if denom == 0 else (b - a) / denom
+    return float(scores.mean())

@@ -1,0 +1,129 @@
+"""Residual convolutional encoders.
+
+The paper uses ResNet-18 with its fully-connected layer removed, so the
+encoder maps an image to a 512-d feature vector via global average pooling.
+We reproduce the same family (BasicBlock stacks, BN, stride-2 downsampling)
+with configurable width and depth so CPU-scale experiments stay tractable:
+``resnet18(width=64)`` is the faithful architecture, while the benchmark
+configurations default to narrower variants on smaller images.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from . import functional as F
+from .layers import BatchNorm2d, Conv2d, GlobalAvgPool2d, Identity, Linear, ReLU
+from .module import Module, Sequential
+from .tensor import Tensor
+
+__all__ = ["BasicBlock", "ResNetEncoder", "resnet18", "resnet9", "SmallConvEncoder"]
+
+
+class BasicBlock(Module):
+    """Two 3x3 conv+BN layers with a residual connection."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, padding=1,
+                            bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.conv2 = Conv2d(out_channels, out_channels, 3, stride=1, padding=1,
+                            bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = Sequential(
+                Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        return (out + self.shortcut(x)).relu()
+
+
+class ResNetEncoder(Module):
+    """A ResNet backbone without the classification head.
+
+    ``forward`` returns the pooled feature vector (N, feature_dim); this is
+    the paper's global model body θ_b.
+    """
+
+    def __init__(
+        self,
+        block_counts: Sequence[int] = (2, 2, 2, 2),
+        width: int = 64,
+        in_channels: int = 3,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        widths = [width * (2**i) for i in range(len(block_counts))]
+        self.conv1 = Conv2d(in_channels, widths[0], 3, stride=1, padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(widths[0])
+        stages: List[Module] = []
+        current = widths[0]
+        for stage_index, (count, channels) in enumerate(zip(block_counts, widths)):
+            blocks: List[Module] = []
+            for block_index in range(count):
+                stride = 2 if (stage_index > 0 and block_index == 0) else 1
+                blocks.append(BasicBlock(current, channels, stride=stride, rng=rng))
+                current = channels
+            stages.append(Sequential(*blocks))
+        self.stages = Sequential(*stages)
+        self.pool = GlobalAvgPool2d()
+        self.feature_dim = current
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.stages(out)
+        return self.pool(out)
+
+
+def resnet18(width: int = 64, in_channels: int = 3,
+             rng: Optional[np.random.Generator] = None) -> ResNetEncoder:
+    """The paper's backbone: four stages of two BasicBlocks each.
+
+    With ``width=64`` the feature dimension is 512, matching the paper's
+    linear-classifier input.  Benchmarks use smaller widths for CPU speed.
+    """
+    return ResNetEncoder((2, 2, 2, 2), width=width, in_channels=in_channels, rng=rng)
+
+
+def resnet9(width: int = 16, in_channels: int = 3,
+            rng: Optional[np.random.Generator] = None) -> ResNetEncoder:
+    """A shallow three-stage residual encoder for CPU-scale experiments."""
+    return ResNetEncoder((1, 1, 1), width=width, in_channels=in_channels, rng=rng)
+
+
+class SmallConvEncoder(Module):
+    """A compact conv encoder (conv-BN-ReLU-pool x3) for fast simulations.
+
+    Preserves the paper's structural contract — fully-convolutional body,
+    global average pooling, ``feature_dim`` attribute — at a fraction of a
+    ResNet's cost.  Useful in tests and in benchmark configurations where
+    hundreds of local updates must run in pure numpy.
+    """
+
+    def __init__(self, in_channels: int = 3, width: int = 16,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.conv1 = Conv2d(in_channels, width, 3, stride=1, padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(width)
+        self.conv2 = Conv2d(width, width * 2, 3, stride=2, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(width * 2)
+        self.conv3 = Conv2d(width * 2, width * 4, 3, stride=2, padding=1, bias=False, rng=rng)
+        self.bn3 = BatchNorm2d(width * 4)
+        self.pool = GlobalAvgPool2d()
+        self.feature_dim = width * 4
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out)).relu()
+        out = self.bn3(self.conv3(out)).relu()
+        return self.pool(out)

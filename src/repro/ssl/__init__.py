@@ -1,0 +1,84 @@
+"""``repro.ssl`` — self-supervised learning methods with a common interface.
+
+``build_ssl_method`` is the factory the FL algorithms use; the paper builds
+Calibre variants on all six methods (§V-A, "Model settings").
+"""
+
+from typing import Dict, Optional, Type
+
+import numpy as np
+
+from .base import EncoderFactory, SSLMethod, SSLOutputs
+from .byol import BYOL
+from .ema import EMAUpdater, copy_module_weights, ema_update
+from .heads import PredictionMLP, PrototypeHead, ProjectionMLP
+from .losses import (
+    byol_regression_loss,
+    info_nce_with_queue,
+    negative_cosine_similarity,
+    nt_xent,
+    sinkhorn_knopp,
+    swapped_prediction_loss,
+)
+from .mocov2 import MoCoV2
+from .simclr import SimCLR
+from .simsiam import SimSiam
+from .smog import SMoG
+from .swav import SwAV
+
+SSL_METHODS: Dict[str, Type[SSLMethod]] = {
+    "simclr": SimCLR,
+    "byol": BYOL,
+    "simsiam": SimSiam,
+    "mocov2": MoCoV2,
+    "swav": SwAV,
+    "smog": SMoG,
+}
+
+
+def build_ssl_method(
+    name: str,
+    encoder_factory: EncoderFactory,
+    projection_dim: int = 32,
+    hidden_dim: int = 64,
+    rng: Optional[np.random.Generator] = None,
+    **kwargs,
+) -> SSLMethod:
+    """Construct an SSL method by name (case-insensitive)."""
+    key = name.lower()
+    if key not in SSL_METHODS:
+        raise KeyError(f"unknown SSL method '{name}'; available: {sorted(SSL_METHODS)}")
+    return SSL_METHODS[key](
+        encoder_factory,
+        projection_dim=projection_dim,
+        hidden_dim=hidden_dim,
+        rng=rng,
+        **kwargs,
+    )
+
+
+__all__ = [
+    "SSLMethod",
+    "SSLOutputs",
+    "EncoderFactory",
+    "SimCLR",
+    "BYOL",
+    "SimSiam",
+    "MoCoV2",
+    "SwAV",
+    "SMoG",
+    "SSL_METHODS",
+    "build_ssl_method",
+    "ProjectionMLP",
+    "PredictionMLP",
+    "PrototypeHead",
+    "nt_xent",
+    "negative_cosine_similarity",
+    "byol_regression_loss",
+    "info_nce_with_queue",
+    "sinkhorn_knopp",
+    "swapped_prediction_loss",
+    "EMAUpdater",
+    "ema_update",
+    "copy_module_weights",
+]

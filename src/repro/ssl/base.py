@@ -1,0 +1,142 @@
+"""The common interface all SSL methods implement.
+
+The paper's pFL-SSL recipe (§III-B) plugs any SSL method into the same
+two-stage pipeline, and Calibre (§IV-B) additionally needs access to the
+encoder features ``z`` and projector outputs ``h`` of both augmented views
+to compute its prototype regularizers.  :class:`SSLOutputs` therefore
+exposes all four tensors plus the method's own base loss ``l_s``.
+
+A method owns:
+
+* ``encoder`` — the paper's θ_b, the globally aggregated body;
+* ``projector`` — the paper's θ_h, also part of the exchanged global model;
+* optional local-only machinery (predictors, target networks, queues,
+  group memories) that never leaves the client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.module import Module
+from ..nn.serialize import StateDict, merge_states, split_state
+from ..nn.tensor import Tensor, no_grad
+from .heads import ProjectionMLP
+
+__all__ = ["SSLOutputs", "SSLMethod", "EncoderFactory"]
+
+EncoderFactory = Callable[[], Module]
+
+
+@dataclass
+class SSLOutputs:
+    """Per-batch artifacts of an SSL forward pass over two views.
+
+    ``z_e``/``z_o`` are encoder features for views I_e and I_o (Algorithm 1
+    line 4); ``h_e``/``h_o`` the corresponding projector outputs (line 5);
+    ``loss`` is the method's own objective l_s (line 7).
+    """
+
+    z_e: Tensor
+    z_o: Tensor
+    h_e: Tensor
+    h_o: Tensor
+    loss: Tensor
+
+
+class SSLMethod(Module):
+    """Base class for the six SSL methods."""
+
+    name = "ssl-base"
+
+    def __init__(
+        self,
+        encoder_factory: EncoderFactory,
+        projection_dim: int = 32,
+        hidden_dim: int = 64,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.encoder = encoder_factory()
+        if not hasattr(self.encoder, "feature_dim"):
+            raise ValueError("encoder must expose a feature_dim attribute")
+        self.feature_dim = self.encoder.feature_dim
+        self.projection_dim = projection_dim
+        self.hidden_dim = hidden_dim
+        self.projector = ProjectionMLP(self.feature_dim, hidden_dim, projection_dim, rng=rng)
+
+    # ------------------------------------------------------------------
+    # Core API
+    # ------------------------------------------------------------------
+    def compute(self, view_e: np.ndarray, view_o: np.ndarray) -> SSLOutputs:
+        """Forward both views and compute the base SSL loss l_s."""
+        raise NotImplementedError
+
+    def post_step(self) -> None:
+        """Hook called after each optimizer step (EMA, queues, groups)."""
+
+    def encode(self, images: np.ndarray) -> np.ndarray:
+        """Frozen feature extraction used by the personalization stage."""
+        was_training = self.training
+        self.eval()
+        with no_grad():
+            features = self.encoder(Tensor(images)).data.copy()
+        if was_training:
+            self.train()
+        return features
+
+    def project(self, images: np.ndarray) -> np.ndarray:
+        """Frozen projector output (diagnostics and embedding figures)."""
+        was_training = self.training
+        self.eval()
+        with no_grad():
+            projected = self.projector(self.encoder(Tensor(images))).data.copy()
+        if was_training:
+            self.train()
+        return projected
+
+    # ------------------------------------------------------------------
+    # FL exchange: the encoder and projector form the global model
+    # ------------------------------------------------------------------
+    def global_state(self) -> StateDict:
+        encoder_state = {f"encoder.{k}": v for k, v in self.encoder.state_dict().items()}
+        projector_state = {f"projector.{k}": v for k, v in self.projector.state_dict().items()}
+        return merge_states(encoder_state, projector_state)
+
+    def load_global_state(self, state: StateDict) -> None:
+        encoder_part, rest = split_state(state, "encoder")
+        projector_part, leftover = split_state(rest, "projector")
+        if leftover:
+            raise KeyError(f"unexpected keys in global state: {sorted(leftover)}")
+        self.encoder.load_state_dict(
+            {k[len("encoder."):]: v for k, v in encoder_part.items()}
+        )
+        self.projector.load_state_dict(
+            {k[len("projector."):]: v for k, v in projector_part.items()}
+        )
+
+    # ------------------------------------------------------------------
+    # Client-local state beyond module parameters (queues, group banks).
+    # Persisted in each client's store between participations.
+    # ------------------------------------------------------------------
+    def extra_state(self) -> Dict[str, np.ndarray]:
+        """Non-module arrays that are part of the method's local state."""
+        return {}
+
+    def load_extra_state(self, state: Dict[str, np.ndarray]) -> None:
+        if state:
+            raise KeyError(f"method {self.name} has no extra state, got {sorted(state)}")
+
+    # ------------------------------------------------------------------
+    # Helpers shared by subclasses
+    # ------------------------------------------------------------------
+    def _forward_views(self, view_e: np.ndarray, view_o: np.ndarray):
+        z_e = self.encoder(Tensor(view_e))
+        z_o = self.encoder(Tensor(view_o))
+        h_e = self.projector(z_e)
+        h_o = self.projector(z_o)
+        return z_e, z_o, h_e, h_o

@@ -1,0 +1,61 @@
+"""BYOL (Grill et al., 2020): bootstrap your own latent.
+
+An online network (encoder + projector + predictor) regresses the output of
+a slowly-moving target network (EMA of the online encoder + projector).
+Only the online encoder/projector are exchanged as the FL global model; the
+target network is client-local state refreshed from the online weights.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn.tensor import Tensor, no_grad
+from .base import EncoderFactory, SSLMethod, SSLOutputs
+from .ema import EMAUpdater
+from .heads import PredictionMLP, ProjectionMLP
+from .losses import byol_regression_loss
+
+__all__ = ["BYOL"]
+
+
+class BYOL(SSLMethod):
+    name = "byol"
+
+    def __init__(
+        self,
+        encoder_factory: EncoderFactory,
+        projection_dim: int = 32,
+        hidden_dim: int = 64,
+        predictor_hidden_dim: int = 16,
+        target_decay: float = 0.99,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__(encoder_factory, projection_dim, hidden_dim, rng=rng)
+        self.predictor = PredictionMLP(projection_dim, predictor_hidden_dim,
+                                       projection_dim, rng=rng)
+        self.target_encoder = encoder_factory()
+        self.target_projector = ProjectionMLP(self.feature_dim, hidden_dim,
+                                              projection_dim, rng=rng)
+        self._encoder_ema = EMAUpdater(self.encoder, self.target_encoder, target_decay)
+        self._projector_ema = EMAUpdater(self.projector, self.target_projector, target_decay)
+
+    def compute(self, view_e: np.ndarray, view_o: np.ndarray) -> SSLOutputs:
+        z_e, z_o, h_e, h_o = self._forward_views(view_e, view_o)
+        p_e = self.predictor(h_e)
+        p_o = self.predictor(h_o)
+        with no_grad():
+            self.target_encoder.eval()
+            self.target_projector.eval()
+            target_e = self.target_projector(self.target_encoder(Tensor(view_e)))
+            target_o = self.target_projector(self.target_encoder(Tensor(view_o)))
+        loss = 0.5 * (
+            byol_regression_loss(p_e, target_o) + byol_regression_loss(p_o, target_e)
+        )
+        return SSLOutputs(z_e=z_e, z_o=z_o, h_e=h_e, h_o=h_o, loss=loss)
+
+    def post_step(self) -> None:
+        self._encoder_ema.update()
+        self._projector_ema.update()

@@ -1,0 +1,48 @@
+"""Exponential-moving-average updates for target/momentum networks.
+
+BYOL and MoCoV2 maintain a target (momentum) network whose parameters track
+the online network via EMA; FedEMA additionally mixes global and local
+models with an adaptive EMA at the FL level.
+"""
+
+from __future__ import annotations
+
+from ..nn.module import Module
+
+__all__ = ["copy_module_weights", "ema_update", "EMAUpdater"]
+
+
+def copy_module_weights(source: Module, target: Module) -> None:
+    """Copy all parameters and buffers from ``source`` into ``target``."""
+    target.load_state_dict(source.state_dict())
+
+
+def ema_update(source: Module, target: Module, decay: float) -> None:
+    """``target <- decay * target + (1 - decay) * source`` for parameters
+    and buffers (running BN statistics follow the same schedule)."""
+    if not 0.0 <= decay <= 1.0:
+        raise ValueError(f"decay must be in [0, 1], got {decay}")
+    source_params = dict(source.named_parameters())
+    for name, param in target.named_parameters():
+        param.data *= decay
+        param.data += (1.0 - decay) * source_params[name].data
+    source_buffers = dict(source.named_buffers())
+    for name, buffer in target.named_buffers():
+        buffer *= decay
+        buffer += (1.0 - decay) * source_buffers[name]
+
+
+class EMAUpdater:
+    """Stateful helper bundling an online/target pair with a decay."""
+
+    def __init__(self, online: Module, target: Module, decay: float = 0.99):
+        if not 0.0 <= decay <= 1.0:
+            raise ValueError(f"decay must be in [0, 1], got {decay}")
+        self.online = online
+        self.target = target
+        self.decay = decay
+        copy_module_weights(online, target)
+        target.requires_grad_(False)
+
+    def update(self) -> None:
+        ema_update(self.online, self.target, self.decay)

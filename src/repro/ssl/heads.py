@@ -1,0 +1,77 @@
+"""Projection and prediction heads shared by the SSL methods.
+
+In the paper's notation the global model θ consists of the fully
+convolutional encoder θ_b and fully-connected layers θ_h; for SSL methods
+θ_h is the projection MLP.  Prediction heads (BYOL, SimSiam) are additional
+client-side modules that are never part of the exchanged global model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import BatchNorm1d, Linear, Module, ReLU, Sequential
+from ..nn.tensor import Tensor
+
+__all__ = ["ProjectionMLP", "PredictionMLP", "PrototypeHead"]
+
+
+class ProjectionMLP(Module):
+    """Two-layer projector: Linear -> BN -> ReLU -> Linear (SimCLR-style)."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, output_dim: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.net = Sequential(
+            Linear(input_dim, hidden_dim, rng=rng),
+            BatchNorm1d(hidden_dim),
+            ReLU(),
+            Linear(hidden_dim, output_dim, rng=rng),
+        )
+        self.output_dim = output_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)
+
+
+class PredictionMLP(Module):
+    """BYOL/SimSiam predictor: Linear -> BN -> ReLU -> Linear."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, output_dim: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.net = Sequential(
+            Linear(input_dim, hidden_dim, rng=rng),
+            BatchNorm1d(hidden_dim),
+            ReLU(),
+            Linear(hidden_dim, output_dim, rng=rng),
+        )
+        self.output_dim = output_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)
+
+
+class PrototypeHead(Module):
+    """A bias-free linear map onto learnable prototypes (SwAV/SMoG).
+
+    The weight rows are L2-normalized before every forward pass so scores
+    are cosine similarities against unit prototypes.
+    """
+
+    def __init__(self, input_dim: int, num_prototypes: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.linear = Linear(input_dim, num_prototypes, bias=False, rng=rng)
+        self.num_prototypes = num_prototypes
+
+    def normalize_prototypes(self) -> None:
+        weights = self.linear.weight.data
+        norms = np.linalg.norm(weights, axis=1, keepdims=True)
+        np.divide(weights, np.maximum(norms, 1e-12), out=weights)
+
+    def forward(self, x: Tensor) -> Tensor:
+        self.normalize_prototypes()
+        return self.linear(x)

@@ -1,0 +1,116 @@
+"""Self-supervised loss functions.
+
+``nt_xent`` is the normalized-temperature cross-entropy of SimCLR (the
+paper's l_s for Calibre (SimCLR), Algorithm 1 line 7, and the basis of the
+prototype-contrastive regularizer L_p on line 12).  The cosine-based losses
+serve BYOL/SimSiam, InfoNCE-with-queue serves MoCoV2, and Sinkhorn-Knopp
+serves SwAV's balanced cluster assignment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+
+__all__ = [
+    "nt_xent",
+    "negative_cosine_similarity",
+    "byol_regression_loss",
+    "info_nce_with_queue",
+    "sinkhorn_knopp",
+    "swapped_prediction_loss",
+]
+
+
+def nt_xent(first: Tensor, second: Tensor, temperature: float = 0.5) -> Tensor:
+    """NT-Xent loss over paired embeddings (SimCLR eq. 1).
+
+    ``first`` and ``second`` are (N, d) embeddings of two views; row i of
+    each is a positive pair, all other 2N-2 rows are negatives.
+    """
+    if first.shape != second.shape:
+        raise ValueError(f"view shapes differ: {first.shape} vs {second.shape}")
+    n = first.shape[0]
+    if n < 2:
+        raise ValueError("nt_xent needs at least two samples per view")
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    embeddings = Tensor.concat([first, second], axis=0)
+    embeddings = F.normalize(embeddings, axis=1)
+    similarities = (embeddings @ embeddings.transpose()) / temperature
+
+    # Mask self-similarity with a large negative constant (kept outside the
+    # graph: it's a constant offset).
+    mask = Tensor(np.eye(2 * n, dtype=embeddings.data.dtype) * -1e9)
+    similarities = similarities + mask
+
+    positive_index = np.concatenate([np.arange(n, 2 * n), np.arange(0, n)])
+    log_probs = F.log_softmax(similarities, axis=1)
+    picked = log_probs[np.arange(2 * n), positive_index]
+    return -picked.mean()
+
+
+def negative_cosine_similarity(prediction: Tensor, target: Tensor) -> Tensor:
+    """SimSiam's D(p, z): negative cosine with a stop-gradient target."""
+    prediction = F.normalize(prediction, axis=1)
+    target = F.normalize(target.detach(), axis=1)
+    return -(prediction * target).sum(axis=1).mean()
+
+
+def byol_regression_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """BYOL's normalized MSE: 2 - 2 * cos(p, sg(z))."""
+    prediction = F.normalize(prediction, axis=1)
+    target = F.normalize(target.detach(), axis=1)
+    return 2.0 - 2.0 * (prediction * target).sum(axis=1).mean()
+
+
+def info_nce_with_queue(
+    query: Tensor, positive_key: Tensor, queue: np.ndarray, temperature: float = 0.2
+) -> Tensor:
+    """MoCo's InfoNCE: positives from the momentum encoder, negatives from
+    the queue.  ``queue`` is a detached (K, d) array of past keys."""
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    query = F.normalize(query, axis=1)
+    positive_key = F.normalize(positive_key.detach(), axis=1)
+    queue_t = F.normalize(Tensor(np.asarray(queue, dtype=query.data.dtype)), axis=1)
+
+    positive_logit = (query * positive_key).sum(axis=1, keepdims=True)
+    negative_logits = query @ queue_t.transpose()
+    logits = Tensor.concat([positive_logit, negative_logits], axis=1) / temperature
+    log_probs = F.log_softmax(logits, axis=1)
+    return -log_probs[:, 0].mean()
+
+
+def sinkhorn_knopp(scores: np.ndarray, epsilon: float = 0.05,
+                   iterations: int = 3) -> np.ndarray:
+    """SwAV's balanced assignment: map (N, K) scores to a doubly-constrained
+    soft assignment matrix Q with uniform cluster marginals."""
+    q = np.exp(np.asarray(scores, dtype=np.float64) / epsilon).T  # (K, N)
+    q /= max(q.sum(), 1e-12)
+    k, n = q.shape
+    for _ in range(iterations):
+        rows = q.sum(axis=1, keepdims=True)
+        q /= np.maximum(rows, 1e-12)
+        q /= k
+        cols = q.sum(axis=0, keepdims=True)
+        q /= np.maximum(cols, 1e-12)
+        q /= n
+    return (q * n).T  # rows sum to 1
+
+
+def swapped_prediction_loss(scores_a: Tensor, scores_b: Tensor,
+                            temperature: float = 0.1) -> Tensor:
+    """SwAV's swapped prediction: predict view B's codes from view A's
+    scores and vice versa.  Codes come from Sinkhorn (no gradient)."""
+    codes_a = sinkhorn_knopp(scores_a.data)
+    codes_b = sinkhorn_knopp(scores_b.data)
+    log_p_a = F.log_softmax(scores_a / temperature, axis=1)
+    log_p_b = F.log_softmax(scores_b / temperature, axis=1)
+    loss_a = -(Tensor(codes_b.astype(scores_a.data.dtype)) * log_p_a).sum(axis=1).mean()
+    loss_b = -(Tensor(codes_a.astype(scores_b.data.dtype)) * log_p_b).sum(axis=1).mean()
+    return (loss_a + loss_b) * 0.5

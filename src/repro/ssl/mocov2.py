@@ -1,0 +1,90 @@
+"""MoCo v2 (He et al., 2020; Chen et al., 2020): momentum contrast with a
+negative-key queue.
+
+A query network (encoder + projector, the FL global model) is contrasted
+against keys produced by a momentum network; past keys persist in a local
+FIFO queue of negatives.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.tensor import Tensor, no_grad
+from .base import EncoderFactory, SSLMethod, SSLOutputs
+from .ema import EMAUpdater
+from .heads import ProjectionMLP
+from .losses import info_nce_with_queue
+
+__all__ = ["MoCoV2"]
+
+
+class MoCoV2(SSLMethod):
+    name = "mocov2"
+
+    def __init__(
+        self,
+        encoder_factory: EncoderFactory,
+        projection_dim: int = 32,
+        hidden_dim: int = 64,
+        queue_size: int = 256,
+        temperature: float = 0.2,
+        key_decay: float = 0.99,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__(encoder_factory, projection_dim, hidden_dim, rng=rng)
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        self.temperature = temperature
+        self.queue_size = queue_size
+        self.key_encoder = encoder_factory()
+        self.key_projector = ProjectionMLP(self.feature_dim, hidden_dim,
+                                           projection_dim, rng=rng)
+        self._encoder_ema = EMAUpdater(self.encoder, self.key_encoder, key_decay)
+        self._projector_ema = EMAUpdater(self.projector, self.key_projector, key_decay)
+
+        generator = rng if rng is not None else np.random.default_rng()
+        queue = generator.standard_normal((queue_size, projection_dim))
+        self.queue = queue / np.linalg.norm(queue, axis=1, keepdims=True)
+        self._queue_cursor = 0
+        self._pending_keys: Optional[np.ndarray] = None
+
+    def compute(self, view_e: np.ndarray, view_o: np.ndarray) -> SSLOutputs:
+        z_e, z_o, h_e, h_o = self._forward_views(view_e, view_o)
+        with no_grad():
+            self.key_encoder.eval()
+            self.key_projector.eval()
+            key_e = self.key_projector(self.key_encoder(Tensor(view_e)))
+            key_o = self.key_projector(self.key_encoder(Tensor(view_o)))
+        loss = 0.5 * (
+            info_nce_with_queue(h_e, key_o, self.queue, self.temperature)
+            + info_nce_with_queue(h_o, key_e, self.queue, self.temperature)
+        )
+        keys = np.concatenate([key_e.data, key_o.data], axis=0)
+        self._pending_keys = keys / np.maximum(
+            np.linalg.norm(keys, axis=1, keepdims=True), 1e-12
+        )
+        return SSLOutputs(z_e=z_e, z_o=z_o, h_e=h_e, h_o=h_o, loss=loss)
+
+    def post_step(self) -> None:
+        self._encoder_ema.update()
+        self._projector_ema.update()
+        if self._pending_keys is None:
+            return
+        for key in self._pending_keys[: self.queue_size]:
+            self.queue[self._queue_cursor] = key
+            self._queue_cursor = (self._queue_cursor + 1) % self.queue_size
+        self._pending_keys = None
+
+    def extra_state(self):
+        return {
+            "queue": self.queue.copy(),
+            "queue_cursor": np.array([self._queue_cursor], dtype=np.int64),
+        }
+
+    def load_extra_state(self, state) -> None:
+        self.queue[...] = state["queue"]
+        self._queue_cursor = int(state["queue_cursor"][0])

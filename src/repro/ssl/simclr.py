@@ -1,0 +1,40 @@
+"""SimCLR (Chen et al., 2020): contrastive learning with NT-Xent.
+
+The paper's strongest variant, Calibre (SimCLR), builds on this method; the
+NT-Xent objective "simultaneously measures the inter- and intra-relations of
+positive and negative samples" (§V-E), which is why it cooperates best with
+the prototype regularizers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import EncoderFactory, SSLMethod, SSLOutputs
+from .losses import nt_xent
+
+__all__ = ["SimCLR"]
+
+
+class SimCLR(SSLMethod):
+    name = "simclr"
+
+    def __init__(
+        self,
+        encoder_factory: EncoderFactory,
+        projection_dim: int = 32,
+        hidden_dim: int = 64,
+        temperature: float = 0.5,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__(encoder_factory, projection_dim, hidden_dim, rng=rng)
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        self.temperature = temperature
+
+    def compute(self, view_e: np.ndarray, view_o: np.ndarray) -> SSLOutputs:
+        z_e, z_o, h_e, h_o = self._forward_views(view_e, view_o)
+        loss = nt_xent(h_e, h_o, self.temperature)
+        return SSLOutputs(z_e=z_e, z_o=z_o, h_e=h_e, h_o=h_o, loss=loss)

@@ -1,0 +1,40 @@
+"""SimSiam (Chen & He, 2021): siamese representation learning without
+negatives, relying on a predictor head and stop-gradient."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import EncoderFactory, SSLMethod, SSLOutputs
+from .heads import PredictionMLP
+from .losses import negative_cosine_similarity
+
+__all__ = ["SimSiam"]
+
+
+class SimSiam(SSLMethod):
+    name = "simsiam"
+
+    def __init__(
+        self,
+        encoder_factory: EncoderFactory,
+        projection_dim: int = 32,
+        hidden_dim: int = 64,
+        predictor_hidden_dim: int = 16,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__(encoder_factory, projection_dim, hidden_dim, rng=rng)
+        self.predictor = PredictionMLP(projection_dim, predictor_hidden_dim,
+                                       projection_dim, rng=rng)
+
+    def compute(self, view_e: np.ndarray, view_o: np.ndarray) -> SSLOutputs:
+        z_e, z_o, h_e, h_o = self._forward_views(view_e, view_o)
+        p_e = self.predictor(h_e)
+        p_o = self.predictor(h_o)
+        loss = 0.5 * (
+            negative_cosine_similarity(p_e, h_o)
+            + negative_cosine_similarity(p_o, h_e)
+        )
+        return SSLOutputs(z_e=z_e, z_o=z_o, h_e=h_e, h_o=h_o, loss=loss)

@@ -1,0 +1,93 @@
+"""SMoG (Pang et al., ECCV 2022): synchronous momentum grouping.
+
+Samples are assigned to a bank of group centers; the other view must
+predict the assigned group contrastively, and group centers are updated
+synchronously by momentum from the features assigned to them.  Like SwAV,
+SMoG carries its own prototype machinery, which the paper's Table I shows
+conflicting with Calibre's L_n.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+from .base import EncoderFactory, SSLMethod, SSLOutputs
+
+__all__ = ["SMoG"]
+
+
+class SMoG(SSLMethod):
+    name = "smog"
+
+    def __init__(
+        self,
+        encoder_factory: EncoderFactory,
+        projection_dim: int = 32,
+        hidden_dim: int = 64,
+        num_groups: int = 16,
+        temperature: float = 0.1,
+        group_momentum: float = 0.9,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__(encoder_factory, projection_dim, hidden_dim, rng=rng)
+        if num_groups < 2:
+            raise ValueError("need at least two groups")
+        if not 0.0 <= group_momentum < 1.0:
+            raise ValueError("group_momentum must be in [0, 1)")
+        self.temperature = temperature
+        self.group_momentum = group_momentum
+        self.num_groups = num_groups
+        generator = rng if rng is not None else np.random.default_rng()
+        groups = generator.standard_normal((num_groups, projection_dim))
+        self.groups = groups / np.linalg.norm(groups, axis=1, keepdims=True)
+        self._pending_features: Optional[np.ndarray] = None
+        self._pending_assignments: Optional[np.ndarray] = None
+
+    def _group_logits(self, h: Tensor) -> Tensor:
+        normalized = F.normalize(h, axis=1)
+        groups = Tensor(self.groups.astype(h.data.dtype))
+        return (normalized @ groups.transpose()) / self.temperature
+
+    def compute(self, view_e: np.ndarray, view_o: np.ndarray) -> SSLOutputs:
+        from ..nn.losses import cross_entropy
+
+        z_e, z_o, h_e, h_o = self._forward_views(view_e, view_o)
+        logits_e = self._group_logits(h_e)
+        logits_o = self._group_logits(h_o)
+        assignments_e = logits_e.data.argmax(axis=1)
+        assignments_o = logits_o.data.argmax(axis=1)
+        # Swapped group prediction: each view predicts the other's assignment.
+        loss = 0.5 * (
+            cross_entropy(logits_e, assignments_o) + cross_entropy(logits_o, assignments_e)
+        )
+        features = h_e.data / np.maximum(
+            np.linalg.norm(h_e.data, axis=1, keepdims=True), 1e-12
+        )
+        self._pending_features = features
+        self._pending_assignments = assignments_e
+        return SSLOutputs(z_e=z_e, z_o=z_o, h_e=h_e, h_o=h_o, loss=loss)
+
+    def post_step(self) -> None:
+        """Synchronous momentum update of the assigned group centers."""
+        if self._pending_features is None:
+            return
+        for group_id in np.unique(self._pending_assignments):
+            members = self._pending_features[self._pending_assignments == group_id]
+            update = members.mean(axis=0)
+            blended = (
+                self.group_momentum * self.groups[group_id]
+                + (1.0 - self.group_momentum) * update
+            )
+            self.groups[group_id] = blended / max(np.linalg.norm(blended), 1e-12)
+        self._pending_features = None
+        self._pending_assignments = None
+
+    def extra_state(self):
+        return {"groups": self.groups.copy()}
+
+    def load_extra_state(self, state) -> None:
+        self.groups[...] = state["groups"]

@@ -1,0 +1,5 @@
+"""``repro.viz`` — ASCII scatter plots and CSV dumps for the figures."""
+
+from .scatter import ascii_scatter, points_to_csv
+
+__all__ = ["ascii_scatter", "points_to_csv"]

@@ -1,0 +1,75 @@
+"""Terminal-friendly rendering of 2-D point sets.
+
+The paper's figures are matplotlib scatter plots; in this offline
+environment we render ASCII scatters (class id as glyph) and emit CSVs so
+the data behind every figure is regenerable and plottable elsewhere.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_scatter", "points_to_csv"]
+
+_GLYPHS = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+
+def ascii_scatter(
+    points: np.ndarray,
+    labels: Optional[np.ndarray] = None,
+    width: int = 60,
+    height: int = 24,
+    title: str = "",
+) -> str:
+    """Render (n, 2) points as an ASCII grid; label ids become glyphs."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError("points must be (n, 2)")
+    if points.shape[0] == 0:
+        raise ValueError("no points to plot")
+    if width < 8 or height < 4:
+        raise ValueError("grid too small")
+    labels = (np.zeros(points.shape[0], dtype=int) if labels is None
+              else np.asarray(labels, dtype=int))
+    mins = points.min(axis=0)
+    spans = np.maximum(points.max(axis=0) - mins, 1e-12)
+    grid = [[" "] * width for _ in range(height)]
+    for (x, y), label in zip(points, labels):
+        col = int((x - mins[0]) / spans[0] * (width - 1))
+        row = int((1.0 - (y - mins[1]) / spans[1]) * (height - 1))
+        glyph = _GLYPHS[label % len(_GLYPHS)] if label >= 0 else "."
+        grid[row][col] = glyph
+    lines = ([title] if title else []) + ["+" + "-" * width + "+"]
+    lines += ["|" + "".join(row) + "|" for row in grid]
+    lines.append("+" + "-" * width + "+")
+    return "\n".join(lines)
+
+
+def points_to_csv(points: np.ndarray, labels: Optional[np.ndarray] = None,
+                  extra: Optional[dict] = None) -> str:
+    """CSV dump of points (+ labels, + extra per-point columns)."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError("points must be (n, 2)")
+    columns = ["x", "y"]
+    series = [points[:, 0], points[:, 1]]
+    if labels is not None:
+        columns.append("label")
+        series.append(np.asarray(labels))
+    for name, values in (extra or {}).items():
+        values = np.asarray(values)
+        if values.shape[0] != points.shape[0]:
+            raise ValueError(f"extra column '{name}' has wrong length")
+        columns.append(name)
+        series.append(values)
+    rows = [",".join(columns)]
+    for i in range(points.shape[0]):
+        cells = []
+        for values in series:
+            value = values[i]
+            cells.append(f"{value:.5f}" if isinstance(value, (float, np.floating))
+                         else str(value))
+        rows.append(",".join(cells))
+    return "\n".join(rows)

@@ -1,0 +1,195 @@
+"""Tests and property-based tests for the non-i.i.d. partitioners."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    classes_per_client,
+    client_label_matrix,
+    effective_classes,
+    heterogeneity_tv,
+    label_histogram,
+    partition_dirichlet,
+    partition_iid,
+    partition_quantity_label,
+    stratified_split,
+)
+
+
+def balanced_labels(num_classes=10, per_class=50, seed=0):
+    labels = np.repeat(np.arange(num_classes), per_class)
+    return np.random.default_rng(seed).permutation(labels)
+
+
+class TestIID:
+    def test_covers_all_indices(self):
+        labels = balanced_labels()
+        parts = partition_iid(labels, 10, np.random.default_rng(0))
+        merged = np.sort(np.concatenate(parts))
+        np.testing.assert_array_equal(merged, np.arange(labels.shape[0]))
+
+    def test_fixed_samples_per_client(self):
+        labels = balanced_labels()
+        parts = partition_iid(labels, 5, np.random.default_rng(0), samples_per_client=40)
+        assert all(len(p) == 40 for p in parts)
+
+    def test_oversubscription_raises(self):
+        labels = balanced_labels(num_classes=2, per_class=5)
+        with pytest.raises(ValueError):
+            partition_iid(labels, 3, np.random.default_rng(0), samples_per_client=100)
+
+    def test_low_heterogeneity(self):
+        labels = balanced_labels()
+        parts = partition_iid(labels, 5, np.random.default_rng(0))
+        matrix = client_label_matrix(labels, parts, 10)
+        assert heterogeneity_tv(matrix) < 0.25
+
+
+class TestQuantityLabel:
+    @pytest.mark.parametrize("classes_per", [1, 2, 5])
+    def test_exact_class_count(self, classes_per):
+        labels = balanced_labels()
+        parts = partition_quantity_label(labels, 8, classes_per, samples_per_client=20,
+                                         rng=np.random.default_rng(1))
+        matrix = client_label_matrix(labels, parts, 10)
+        np.testing.assert_array_equal(classes_per_client(matrix), np.full(8, classes_per))
+
+    def test_samples_per_client(self):
+        labels = balanced_labels()
+        parts = partition_quantity_label(labels, 8, 2, samples_per_client=25,
+                                         rng=np.random.default_rng(2))
+        assert all(len(p) == 25 for p in parts)
+
+    def test_all_classes_covered_when_enough_slots(self):
+        labels = balanced_labels()
+        parts = partition_quantity_label(labels, 10, 2, samples_per_client=20,
+                                         rng=np.random.default_rng(3))
+        matrix = client_label_matrix(labels, parts, 10)
+        assert np.all(matrix.sum(axis=0) > 0)
+
+    def test_high_heterogeneity(self):
+        labels = balanced_labels()
+        parts = partition_quantity_label(labels, 10, 2, samples_per_client=20,
+                                         rng=np.random.default_rng(4))
+        matrix = client_label_matrix(labels, parts, 10)
+        assert heterogeneity_tv(matrix) > 0.5
+
+    def test_invalid_classes_per_client(self):
+        labels = balanced_labels()
+        with pytest.raises(ValueError):
+            partition_quantity_label(labels, 4, 0)
+        with pytest.raises(ValueError):
+            partition_quantity_label(labels, 4, 11)
+
+    @given(
+        num_clients=st.integers(min_value=2, max_value=12),
+        classes_per=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_class_count_and_size(self, num_clients, classes_per):
+        labels = balanced_labels(num_classes=6, per_class=60, seed=5)
+        parts = partition_quantity_label(labels, num_clients, min(classes_per, 6),
+                                         samples_per_client=12,
+                                         rng=np.random.default_rng(6))
+        matrix = client_label_matrix(labels, parts, 6)
+        assert np.all(classes_per_client(matrix) == min(classes_per, 6))
+        assert all(len(p) == 12 for p in parts)
+
+
+class TestDirichlet:
+    def test_sizes(self):
+        labels = balanced_labels()
+        parts = partition_dirichlet(labels, 10, 0.3, samples_per_client=30,
+                                    rng=np.random.default_rng(0))
+        assert all(len(p) >= 30 for p in parts)
+
+    def test_skew_increases_as_concentration_drops(self):
+        labels = balanced_labels(per_class=100)
+        tv = {}
+        for conc in (0.1, 100.0):
+            parts = partition_dirichlet(labels, 20, conc, samples_per_client=40,
+                                        rng=np.random.default_rng(1))
+            tv[conc] = heterogeneity_tv(client_label_matrix(labels, parts, 10))
+        assert tv[0.1] > tv[100.0] + 0.2
+
+    def test_invalid_concentration(self):
+        with pytest.raises(ValueError):
+            partition_dirichlet(balanced_labels(), 4, 0.0)
+
+    def test_min_samples_guard(self):
+        labels = balanced_labels()
+        parts = partition_dirichlet(labels, 6, 0.05, samples_per_client=10, min_samples=2,
+                                    rng=np.random.default_rng(2))
+        for part in parts:
+            hist = label_histogram(labels[part], 10)
+            assert hist.max() >= 2
+
+    @given(seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=15, deadline=None)
+    def test_property_every_client_nonempty(self, seed):
+        labels = balanced_labels(num_classes=5, per_class=40)
+        parts = partition_dirichlet(labels, 8, 0.3, samples_per_client=15,
+                                    rng=np.random.default_rng(seed))
+        assert all(len(p) > 0 for p in parts)
+
+
+class TestStratifiedSplit:
+    def test_disjoint_and_complete(self):
+        labels = balanced_labels(num_classes=4, per_class=25)
+        indices = np.arange(40)
+        train, test = stratified_split(indices, labels, 0.25, np.random.default_rng(0))
+        combined = np.sort(np.concatenate([train, test]))
+        np.testing.assert_array_equal(combined, np.sort(indices))
+        assert np.intersect1d(train, test).size == 0
+
+    def test_class_distribution_consistent(self):
+        rng = np.random.default_rng(1)
+        labels = np.repeat([0, 1], [80, 20])
+        indices = np.arange(100)
+        train, test = stratified_split(indices, labels, 0.25, rng)
+        train_frac = (labels[train] == 0).mean()
+        test_frac = (labels[test] == 0).mean()
+        assert abs(train_frac - test_frac) < 0.1
+
+    def test_singleton_class_goes_to_train(self):
+        labels = np.array([0, 0, 0, 0, 1])
+        train, test = stratified_split(np.arange(5), labels, 0.25, np.random.default_rng(0))
+        assert 4 in train
+        assert 4 not in test
+
+    def test_every_class_with_two_samples_in_test(self):
+        labels = np.repeat(np.arange(5), 4)
+        train, test = stratified_split(np.arange(20), labels, 0.25, np.random.default_rng(3))
+        test_classes = set(labels[test])
+        assert test_classes == set(range(5))
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            stratified_split(np.arange(4), np.zeros(4, dtype=int), 0.0)
+        with pytest.raises(ValueError):
+            stratified_split(np.arange(4), np.zeros(4, dtype=int), 1.0)
+
+
+class TestStats:
+    def test_label_histogram_skips_unlabeled(self):
+        hist = label_histogram(np.array([-1, 0, 1, 1]), 3)
+        np.testing.assert_array_equal(hist, [1, 2, 0])
+
+    def test_effective_classes_bounds(self):
+        matrix = np.array([[10, 0, 0], [5, 5, 0], [4, 3, 3]])
+        eff = effective_classes(matrix)
+        assert eff[0] == pytest.approx(1.0)
+        assert eff[1] == pytest.approx(2.0)
+        assert 2.9 < eff[2] <= 3.0
+
+    def test_heterogeneity_extremes(self):
+        disjoint = np.array([[10, 0], [0, 10]])
+        identical = np.array([[5, 5], [5, 5]])
+        assert heterogeneity_tv(disjoint) == pytest.approx(0.5)
+        assert heterogeneity_tv(identical) == pytest.approx(0.0)
+
+    def test_heterogeneity_requires_samples(self):
+        with pytest.raises(ValueError):
+            heterogeneity_tv(np.array([[0, 0], [1, 1]]))

@@ -1,0 +1,125 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DataSplit,
+    SyntheticImageDataset,
+    make_cifar10_like,
+    make_cifar100_like,
+    make_stl10_like,
+)
+
+
+class TestDataSplit:
+    def test_shapes_validated(self):
+        with pytest.raises(ValueError):
+            DataSplit(np.zeros((4, 3, 8)), np.zeros(4))
+        with pytest.raises(ValueError):
+            DataSplit(np.zeros((4, 3, 8, 8)), np.zeros(5))
+
+    def test_subset(self):
+        split = DataSplit(np.arange(4 * 3 * 2 * 2, dtype=float).reshape(4, 3, 2, 2),
+                          np.array([0, 1, 0, 1]))
+        sub = split.subset(np.array([1, 3]))
+        assert len(sub) == 2
+        np.testing.assert_array_equal(sub.labels, [1, 1])
+
+    def test_num_classes_ignores_unlabeled(self):
+        split = DataSplit(np.zeros((3, 1, 2, 2)), np.array([-1, 2, 0]))
+        assert split.num_classes == 3
+
+
+class TestGenerator:
+    def test_deterministic_given_seed(self):
+        a = SyntheticImageDataset(num_classes=4, image_size=8, train_per_class=5,
+                                  test_per_class=2, seed=7)
+        b = SyntheticImageDataset(num_classes=4, image_size=8, train_per_class=5,
+                                  test_per_class=2, seed=7)
+        np.testing.assert_array_equal(a.train.images, b.train.images)
+        np.testing.assert_array_equal(a.train.labels, b.train.labels)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticImageDataset(num_classes=4, image_size=8, seed=1)
+        b = SyntheticImageDataset(num_classes=4, image_size=8, seed=2)
+        assert not np.allclose(a.train.images, b.train.images)
+
+    def test_split_sizes(self):
+        dataset = SyntheticImageDataset(num_classes=5, image_size=8, train_per_class=7,
+                                        test_per_class=3, unlabeled_size=11, seed=0)
+        assert len(dataset.train) == 35
+        assert len(dataset.test) == 15
+        assert len(dataset.unlabeled) == 11
+        assert np.all(dataset.unlabeled.labels == -1)
+
+    def test_balanced_labels(self):
+        dataset = SyntheticImageDataset(num_classes=5, image_size=8, train_per_class=6, seed=0)
+        counts = np.bincount(dataset.train.labels, minlength=5)
+        np.testing.assert_array_equal(counts, np.full(5, 6))
+
+    def test_class_structure_is_learnable(self):
+        """A nearest-class-prototype rule on raw pixels must beat chance by a
+        wide margin — otherwise no downstream experiment is meaningful."""
+        dataset = SyntheticImageDataset(num_classes=5, image_size=8, train_per_class=40,
+                                        test_per_class=20, seed=3)
+        train_x = dataset.train.images.reshape(len(dataset.train), -1)
+        test_x = dataset.test.images.reshape(len(dataset.test), -1)
+        centroids = np.stack([
+            train_x[dataset.train.labels == k].mean(axis=0) for k in range(5)
+        ])
+        distances = ((test_x[:, None, :] - centroids[None]) ** 2).sum(axis=2)
+        predictions = distances.argmin(axis=1)
+        acc = (predictions == dataset.test.labels).mean()
+        assert acc > 0.6, f"synthetic data not separable enough: {acc:.3f}"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticImageDataset(num_classes=1)
+        with pytest.raises(ValueError):
+            SyntheticImageDataset(num_classes=4, image_size=2)
+        with pytest.raises(ValueError):
+            SyntheticImageDataset(num_classes=10, num_superclasses=3)
+
+    def test_sample_renders_fresh_split(self):
+        dataset = SyntheticImageDataset(num_classes=4, image_size=8, seed=0)
+        labels = np.array([0, 1, 2, 3, 0])
+        extra = dataset.sample(labels, seed=99)
+        assert len(extra) == 5
+        np.testing.assert_array_equal(extra.labels, labels)
+        again = dataset.sample(labels, seed=99)
+        np.testing.assert_array_equal(extra.images, again.images)
+
+
+class TestFactories:
+    def test_cifar10_like(self):
+        dataset = make_cifar10_like(image_size=8, train_per_class=4, test_per_class=2, seed=0)
+        assert dataset.num_classes == 10
+        assert dataset.train.num_classes == 10
+        assert len(dataset.unlabeled) == 0
+
+    def test_cifar100_like_superclass_structure(self):
+        dataset = make_cifar100_like(image_size=8, train_per_class=2, test_per_class=1,
+                                     num_classes=20, seed=0)
+        assert dataset.num_classes == 20
+        # Fine classes within a superclass must be more similar than across.
+        prototypes = dataset._prototypes.reshape(20, -1)
+        per_super = 5
+        within, across = [], []
+        for i in range(20):
+            for j in range(i + 1, 20):
+                sim = float(
+                    prototypes[i] @ prototypes[j]
+                    / (np.linalg.norm(prototypes[i]) * np.linalg.norm(prototypes[j]))
+                )
+                if i // per_super == j // per_super:
+                    within.append(sim)
+                else:
+                    across.append(sim)
+        assert np.mean(within) > np.mean(across) + 0.2
+
+    def test_stl10_like_has_unlabeled_pool(self):
+        dataset = make_stl10_like(image_size=8, train_per_class=3, test_per_class=2,
+                                  unlabeled_size=50, seed=0)
+        assert len(dataset.unlabeled) == 50
+        assert dataset.unlabeled.labels.max() == -1

@@ -1,0 +1,52 @@
+"""Shared test utilities: finite-difference gradient checking."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn import Tensor
+
+
+def numeric_gradient(func: Callable[[], Tensor], tensor: Tensor, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued ``func`` wrt ``tensor``."""
+    grad = np.zeros_like(tensor.data)
+    flat = tensor.data.ravel()
+    grad_flat = grad.ravel()
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        upper = float(func().data)
+        flat[index] = original - eps
+        lower = float(func().data)
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2.0 * eps)
+    return grad
+
+
+def assert_gradients_close(
+    func: Callable[[], Tensor],
+    tensors: Sequence[Tensor],
+    eps: float = 1e-6,
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> None:
+    """Compare autograd gradients of scalar ``func`` against finite differences."""
+    for tensor in tensors:
+        tensor.grad = None
+    out = func()
+    assert out.size == 1, "gradient check requires a scalar output"
+    out.backward()
+    for position, tensor in enumerate(tensors):
+        expected = numeric_gradient(func, tensor, eps=eps)
+        actual = tensor.grad
+        assert actual is not None, f"tensor #{position} received no gradient"
+        np.testing.assert_allclose(
+            actual, expected, atol=atol, rtol=rtol,
+            err_msg=f"gradient mismatch for tensor #{position}",
+        )
+
+
+def rng(seed: int = 0) -> np.random.Generator:
+    return np.random.default_rng(seed)

@@ -1,0 +1,107 @@
+"""Tests for the exact t-SNE implementation and silhouette score."""
+
+import numpy as np
+import pytest
+
+from repro.manifold import TSNE, conditional_probabilities, silhouette_score, tsne_embed
+
+
+def blobs(k=3, per=25, d=8, sep=10.0, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((k, d)) * sep
+    points = np.concatenate([centers[j] + rng.standard_normal((per, d)) for j in range(k)])
+    labels = np.repeat(np.arange(k), per)
+    return points, labels
+
+
+class TestConditionalProbabilities:
+    def test_rows_sum_to_one(self):
+        points, _ = blobs(seed=1)
+        sq = ((points[:, None] - points[None]) ** 2).sum(axis=2)
+        probs = conditional_probabilities(sq, perplexity=10.0)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(points.shape[0]), atol=1e-6)
+
+    def test_diagonal_zero(self):
+        points, _ = blobs(seed=2)
+        sq = ((points[:, None] - points[None]) ** 2).sum(axis=2)
+        probs = conditional_probabilities(sq, perplexity=10.0)
+        np.testing.assert_allclose(np.diag(probs), np.zeros(points.shape[0]))
+
+    def test_perplexity_matched(self):
+        points, _ = blobs(seed=3)
+        sq = ((points[:, None] - points[None]) ** 2).sum(axis=2)
+        probs = conditional_probabilities(sq, perplexity=15.0)
+        entropies = np.array([
+            -(row[row > 1e-12] * np.log(row[row > 1e-12])).sum() for row in probs
+        ])
+        np.testing.assert_allclose(np.exp(entropies), np.full(points.shape[0], 15.0), rtol=0.05)
+
+    def test_perplexity_must_be_feasible(self):
+        with pytest.raises(ValueError):
+            conditional_probabilities(np.zeros((5, 5)), perplexity=5.0)
+
+
+class TestTSNE:
+    def test_output_shape_and_centered(self):
+        points, _ = blobs(seed=4)
+        embedding = tsne_embed(points, perplexity=10.0, n_iterations=150, seed=0)
+        assert embedding.shape == (points.shape[0], 2)
+        np.testing.assert_allclose(embedding.mean(axis=0), np.zeros(2), atol=1e-8)
+
+    def test_separated_blobs_stay_separated(self):
+        points, labels = blobs(seed=5)
+        embedding = tsne_embed(points, perplexity=10.0, n_iterations=300, seed=1)
+        score = silhouette_score(embedding, labels)
+        assert score > 0.4, f"t-SNE failed to separate well-separated blobs: {score:.3f}"
+
+    def test_deterministic_given_seed(self):
+        points, _ = blobs(per=10, seed=6)
+        a = tsne_embed(points, n_iterations=50, seed=3)
+        b = tsne_embed(points, n_iterations=50, seed=3)
+        np.testing.assert_allclose(a, b)
+
+    def test_validates_input(self):
+        with pytest.raises(ValueError):
+            TSNE().fit_transform(np.zeros((3, 2, 2)))
+        with pytest.raises(ValueError):
+            TSNE().fit_transform(np.zeros((3, 2)))
+
+    def test_kl_divergence_nonnegative_and_small_for_good_fit(self):
+        points, _ = blobs(per=15, seed=7)
+        model = TSNE(perplexity=10.0, n_iterations=300, seed=2)
+        embedding = model.fit_transform(points)
+        kl = model.kl_divergence(points, embedding)
+        assert kl >= 0.0
+        assert kl < 2.0
+
+
+class TestSilhouette:
+    def test_perfect_separation_close_to_one(self):
+        points = np.concatenate([np.zeros((10, 2)), np.full((10, 2), 100.0)])
+        points += 0.01 * np.random.default_rng(0).standard_normal(points.shape)
+        labels = np.repeat([0, 1], 10)
+        assert silhouette_score(points, labels) > 0.95
+
+    def test_random_labels_near_zero(self):
+        rng = np.random.default_rng(1)
+        points = rng.standard_normal((60, 4))
+        labels = rng.integers(0, 3, size=60)
+        assert abs(silhouette_score(points, labels)) < 0.2
+
+    def test_mislabeled_clusters_negative(self):
+        a = np.zeros((10, 2))
+        b = np.full((10, 2), 10.0)
+        points = np.concatenate([a, b]) + 0.1 * np.random.default_rng(2).standard_normal((20, 2))
+        # Deliberately split each true blob across both labels.
+        labels = np.tile([0, 1], 10)
+        assert silhouette_score(points, labels) < 0.0
+
+    def test_requires_two_clusters(self):
+        with pytest.raises(ValueError):
+            silhouette_score(np.zeros((5, 2)), np.zeros(5, dtype=int))
+
+    def test_singleton_cluster_contributes_zero(self):
+        points = np.array([[0.0, 0.0], [0.1, 0.0], [10.0, 0.0]])
+        labels = np.array([0, 0, 1])
+        score = silhouette_score(points, labels)
+        assert np.isfinite(score)

@@ -1,0 +1,168 @@
+"""Tests for optimizers and LR schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Adam,
+    ConstantLR,
+    CosineAnnealingLR,
+    Linear,
+    Parameter,
+    StepLR,
+    Tensor,
+    WarmupCosineLR,
+    mse_loss,
+)
+
+from ..helpers import rng
+
+
+def quadratic_param(value=5.0):
+    return Parameter(np.array([value]))
+
+
+def minimize(optimizer, param, steps=200):
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = (param * param).sum()
+        loss.backward()
+        optimizer.step()
+    return float(param.data[0])
+
+
+class TestSGD:
+    def test_plain_sgd_matches_manual_update(self):
+        param = quadratic_param(2.0)
+        opt = SGD([param], lr=0.1)
+        (param * param).sum().backward()
+        opt.step()
+        assert param.data[0] == pytest.approx(2.0 - 0.1 * 4.0)
+
+    def test_converges_on_quadratic(self):
+        param = quadratic_param()
+        assert abs(minimize(SGD([param], lr=0.1), param)) < 1e-6
+
+    def test_momentum_converges(self):
+        param = quadratic_param()
+        assert abs(minimize(SGD([param], lr=0.05, momentum=0.9), param, steps=400)) < 1e-6
+
+    def test_nesterov_converges(self):
+        param = quadratic_param()
+        assert abs(minimize(SGD([param], lr=0.05, momentum=0.9, nesterov=True), param,
+                            steps=400)) < 1e-6
+
+    def test_weight_decay_shrinks_weights(self):
+        param = Parameter(np.array([1.0]))
+        opt = SGD([param], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        param.grad = np.array([0.0])
+        opt.step()
+        assert param.data[0] == pytest.approx(1.0 - 0.1 * 0.5)
+
+    def test_skips_parameters_without_grad(self):
+        a, b = quadratic_param(1.0), quadratic_param(1.0)
+        opt = SGD([a, b], lr=0.1)
+        (a * a).sum().backward()
+        opt.step()
+        assert b.data[0] == 1.0
+
+    def test_invalid_hyperparameters(self):
+        param = quadratic_param()
+        with pytest.raises(ValueError):
+            SGD([param], lr=-1.0)
+        with pytest.raises(ValueError):
+            SGD([param], lr=0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            SGD([param], lr=0.1, nesterov=True)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_state_dict_round_trip(self):
+        param = quadratic_param()
+        opt = SGD([param], lr=0.05, momentum=0.9)
+        minimize(opt, param, steps=3)
+        state = opt.state_dict()
+        fresh_param = quadratic_param()
+        fresh = SGD([fresh_param], lr=0.05, momentum=0.9)
+        fresh.load_state_dict(state)
+        assert fresh.lr == opt.lr
+        np.testing.assert_allclose(fresh._velocity[0], opt._velocity[0])
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = quadratic_param()
+        assert abs(minimize(Adam([param], lr=0.1), param, steps=400)) < 1e-4
+
+    def test_first_step_magnitude_is_lr(self):
+        # With bias correction, |Δ| of the first Adam step is ~lr.
+        param = quadratic_param(3.0)
+        opt = Adam([param], lr=0.01)
+        (param * param).sum().backward()
+        opt.step()
+        assert abs(3.0 - param.data[0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_trains_linear_regression(self):
+        generator = rng(0)
+        x = Tensor(generator.standard_normal((64, 3)))
+        true_w = generator.standard_normal((1, 3))
+        y = Tensor(x.data @ true_w.T)
+        layer = Linear(3, 1, rng=generator)
+        opt = Adam(layer.parameters(), lr=0.05)
+        for _ in range(300):
+            opt.zero_grad()
+            mse_loss(layer(x), y).backward()
+            opt.step()
+        np.testing.assert_allclose(layer.weight.data, true_w, atol=0.02)
+
+
+class TestSchedulers:
+    def test_constant(self):
+        param = quadratic_param()
+        opt = SGD([param], lr=0.3)
+        sched = ConstantLR(opt)
+        for _ in range(5):
+            assert sched.step() == 0.3
+
+    def test_step_lr(self):
+        param = quadratic_param()
+        opt = SGD([param], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        # step() advances to epochs 1..4 and returns the LR for each new epoch.
+        lrs = [sched.step() for _ in range(4)]
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_cosine_endpoints(self):
+        param = quadratic_param()
+        opt = SGD([param], lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=10)
+        lrs = [sched.step() for _ in range(10)]
+        assert lrs[-1] == pytest.approx(0.0, abs=1e-12)
+        assert lrs[4] == pytest.approx(0.5, abs=1e-2)
+
+    def test_cosine_monotone_decreasing(self):
+        param = quadratic_param()
+        opt = SGD([param], lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=20)
+        lrs = [sched.step() for _ in range(20)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_warmup_cosine(self):
+        param = quadratic_param()
+        opt = SGD([param], lr=1.0)
+        sched = WarmupCosineLR(opt, warmup_epochs=5, t_max=15)
+        lrs = [sched.step() for _ in range(15)]
+        np.testing.assert_allclose(lrs[:5], [0.2, 0.4, 0.6, 0.8, 1.0])
+        assert lrs[-1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_invalid_arguments(self):
+        param = quadratic_param()
+        opt = SGD([param], lr=1.0)
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=0)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(opt, t_max=0)
+        with pytest.raises(ValueError):
+            WarmupCosineLR(opt, warmup_epochs=10, t_max=5)

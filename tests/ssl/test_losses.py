@@ -1,0 +1,154 @@
+"""Tests for the SSL loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.ssl import (
+    byol_regression_loss,
+    info_nce_with_queue,
+    negative_cosine_similarity,
+    nt_xent,
+    sinkhorn_knopp,
+    swapped_prediction_loss,
+)
+
+from ..helpers import assert_gradients_close, rng
+
+
+def embeddings(shape, seed=0):
+    return Tensor(rng(seed).standard_normal(shape), requires_grad=True)
+
+
+class TestNTXent:
+    def test_positive_pairs_reduce_loss(self):
+        base = rng(0).standard_normal((8, 16))
+        identical = nt_xent(Tensor(base, requires_grad=True),
+                            Tensor(base.copy(), requires_grad=True)).item()
+        unrelated = nt_xent(embeddings((8, 16), 1), embeddings((8, 16), 2)).item()
+        assert identical < unrelated
+
+    def test_loss_positive(self):
+        loss = nt_xent(embeddings((6, 8), 3), embeddings((6, 8), 4))
+        assert loss.item() > 0
+
+    def test_symmetric_in_views(self):
+        a, b = embeddings((5, 8), 5), embeddings((5, 8), 6)
+        assert nt_xent(a, b).item() == pytest.approx(nt_xent(b, a).item(), rel=1e-9)
+
+    def test_temperature_validated(self):
+        with pytest.raises(ValueError):
+            nt_xent(embeddings((4, 8)), embeddings((4, 8)), temperature=0.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            nt_xent(embeddings((4, 8)), embeddings((5, 8)))
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            nt_xent(embeddings((1, 8)), embeddings((1, 8)))
+
+    def test_gradients(self):
+        a, b = embeddings((4, 6), 7), embeddings((4, 6), 8)
+        assert_gradients_close(lambda: nt_xent(a, b), [a, b], atol=1e-4)
+
+    def test_scale_invariance_of_views(self):
+        # NT-Xent normalizes embeddings, so uniform scaling is a no-op.
+        a, b = embeddings((5, 8), 9), embeddings((5, 8), 10)
+        scaled = nt_xent(Tensor(a.data * 10.0), Tensor(b.data * 10.0)).item()
+        assert nt_xent(a, b).item() == pytest.approx(scaled, rel=1e-9)
+
+
+class TestCosineLosses:
+    def test_negative_cosine_range(self):
+        loss = negative_cosine_similarity(embeddings((6, 8), 1), embeddings((6, 8), 2))
+        assert -1.0 <= loss.item() <= 1.0
+
+    def test_identical_vectors_give_minus_one(self):
+        a = embeddings((4, 8), 3)
+        loss = negative_cosine_similarity(a, Tensor(a.data.copy()))
+        assert loss.item() == pytest.approx(-1.0, abs=1e-9)
+
+    def test_target_receives_no_gradient(self):
+        p, z = embeddings((4, 8), 4), embeddings((4, 8), 5)
+        negative_cosine_similarity(p, z).backward()
+        assert p.grad is not None
+        assert z.grad is None
+
+    def test_byol_loss_range_and_floor(self):
+        a = embeddings((4, 8), 6)
+        perfect = byol_regression_loss(a, Tensor(a.data.copy()))
+        assert perfect.item() == pytest.approx(0.0, abs=1e-9)
+        random = byol_regression_loss(embeddings((16, 8), 7), embeddings((16, 8), 8))
+        assert 0.0 <= random.item() <= 4.0
+
+
+class TestInfoNCE:
+    def test_positive_key_lowers_loss(self):
+        query = embeddings((6, 8), 1)
+        queue = rng(2).standard_normal((32, 8))
+        aligned = info_nce_with_queue(query, Tensor(query.data.copy()), queue).item()
+        misaligned = info_nce_with_queue(query, embeddings((6, 8), 3), queue).item()
+        assert aligned < misaligned
+
+    def test_key_detached(self):
+        query, key = embeddings((4, 8), 4), embeddings((4, 8), 5)
+        info_nce_with_queue(query, key, rng(6).standard_normal((16, 8))).backward()
+        assert key.grad is None
+        assert query.grad is not None
+
+    def test_temperature_validated(self):
+        with pytest.raises(ValueError):
+            info_nce_with_queue(embeddings((4, 8)), embeddings((4, 8)),
+                                np.zeros((8, 8)), temperature=-1.0)
+
+
+class TestSinkhorn:
+    def test_rows_sum_to_one(self):
+        scores = rng(0).standard_normal((12, 5))
+        q = sinkhorn_knopp(scores)
+        np.testing.assert_allclose(q.sum(axis=1), np.ones(12), atol=1e-6)
+
+    def test_columns_balanced(self):
+        # Cosine-scale scores (|s| <= 1) as SwAV produces; balance improves
+        # with more Sinkhorn iterations.
+        scores = 0.05 * rng(1).standard_normal((40, 4))
+        q = sinkhorn_knopp(scores, iterations=25)
+        column_mass = q.sum(axis=0)
+        np.testing.assert_allclose(column_mass, np.full(4, 10.0), rtol=0.15)
+
+    def test_nonnegative(self):
+        q = sinkhorn_knopp(rng(2).standard_normal((10, 3)))
+        assert np.all(q >= 0)
+
+    def test_follows_scores(self):
+        scores = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        q = sinkhorn_knopp(scores)
+        assert q[0, 0] > q[0, 1]
+        assert q[1, 1] > q[1, 0]
+
+
+class TestSwappedPrediction:
+    def test_loss_positive_and_finite(self):
+        scores_a = embeddings((10, 6), 1)
+        scores_b = embeddings((10, 6), 2)
+        loss = swapped_prediction_loss(scores_a, scores_b)
+        assert np.isfinite(loss.item())
+        assert loss.item() > 0
+
+    def test_agreeing_scores_give_lower_loss(self):
+        base = rng(3).standard_normal((12, 6)) * 3.0
+        agree = swapped_prediction_loss(
+            Tensor(base, requires_grad=True), Tensor(base.copy(), requires_grad=True)
+        ).item()
+        disagree = swapped_prediction_loss(
+            Tensor(base, requires_grad=True), Tensor(-base, requires_grad=True)
+        ).item()
+        assert agree < disagree
+
+    def test_gradients_flow(self):
+        scores_a = embeddings((6, 4), 4)
+        scores_b = embeddings((6, 4), 5)
+        swapped_prediction_loss(scores_a, scores_b).backward()
+        assert scores_a.grad is not None
+        assert scores_b.grad is not None

@@ -1,0 +1,224 @@
+"""Tests for the six SSL methods against the common interface."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLPEncoder, SGD
+from repro.ssl import (
+    SSL_METHODS,
+    BYOL,
+    MoCoV2,
+    SMoG,
+    SwAV,
+    build_ssl_method,
+    copy_module_weights,
+    ema_update,
+    EMAUpdater,
+)
+
+from ..helpers import rng
+
+IMAGE_SHAPE = (3, 6, 6)
+INPUT_DIM = int(np.prod(IMAGE_SHAPE))
+
+
+def encoder_factory():
+    return MLPEncoder(INPUT_DIM, hidden_dims=(24, 12), rng=rng(0))
+
+
+def make_method(name, **kwargs):
+    return build_ssl_method(name, encoder_factory, projection_dim=8, hidden_dim=16,
+                            rng=rng(1), **kwargs)
+
+
+def make_views(seed=0, n=8):
+    generator = rng(seed)
+    return (generator.standard_normal((n,) + IMAGE_SHAPE),
+            generator.standard_normal((n,) + IMAGE_SHAPE))
+
+
+ALL_METHODS = sorted(SSL_METHODS)
+
+
+class TestCommonInterface:
+    @pytest.mark.parametrize("name", ALL_METHODS)
+    def test_compute_returns_all_artifacts(self, name):
+        method = make_method(name)
+        view_e, view_o = make_views()
+        out = method.compute(view_e, view_o)
+        assert out.z_e.shape == (8, method.feature_dim)
+        assert out.z_o.shape == (8, method.feature_dim)
+        assert out.h_e.shape == (8, method.projection_dim)
+        assert out.h_o.shape == (8, method.projection_dim)
+        assert out.loss.size == 1
+        assert np.isfinite(out.loss.item())
+
+    @pytest.mark.parametrize("name", ALL_METHODS)
+    def test_loss_backward_reaches_encoder(self, name):
+        method = make_method(name)
+        view_e, view_o = make_views(1)
+        out = method.compute(view_e, view_o)
+        out.loss.backward()
+        encoder_grads = [p.grad for p in method.encoder.parameters()]
+        assert any(g is not None and np.any(g != 0) for g in encoder_grads), (
+            f"{name}: no gradient reached the encoder"
+        )
+
+    @pytest.mark.parametrize("name", ALL_METHODS)
+    def test_one_training_step_changes_global_state(self, name):
+        method = make_method(name)
+        before = method.global_state()
+        optimizer = SGD(method.parameters(), lr=0.5)
+        view_e, view_o = make_views(2)
+        out = method.compute(view_e, view_o)
+        optimizer.zero_grad()
+        out.loss.backward()
+        optimizer.step()
+        method.post_step()
+        after = method.global_state()
+        changed = any(not np.allclose(before[k], after[k]) for k in before)
+        assert changed, f"{name}: training step did not modify the global model"
+
+    @pytest.mark.parametrize("name", ALL_METHODS)
+    def test_global_state_round_trip(self, name):
+        source = make_method(name)
+        dest = make_method(name)
+        dest.load_global_state(source.global_state())
+        x = rng(3).standard_normal((4,) + IMAGE_SHAPE)
+        np.testing.assert_allclose(source.encode(x), dest.encode(x), atol=1e-10)
+
+    @pytest.mark.parametrize("name", ALL_METHODS)
+    def test_encode_is_deterministic_and_preserves_mode(self, name):
+        method = make_method(name)
+        method.train()
+        x = rng(4).standard_normal((4,) + IMAGE_SHAPE)
+        first = method.encode(x)
+        second = method.encode(x)
+        np.testing.assert_allclose(first, second)
+        assert method.training
+
+    @pytest.mark.parametrize("name", ALL_METHODS)
+    def test_project_shape(self, name):
+        method = make_method(name)
+        x = rng(5).standard_normal((4,) + IMAGE_SHAPE)
+        assert method.project(x).shape == (4, method.projection_dim)
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(KeyError):
+            build_ssl_method("bogus", encoder_factory)
+
+    def test_global_state_excludes_local_modules(self):
+        method = make_method("byol")
+        keys = method.global_state().keys()
+        assert all(k.startswith(("encoder.", "projector.")) for k in keys)
+
+
+class TestBYOL:
+    def test_target_tracks_online(self):
+        method = make_method("byol", target_decay=0.5)
+        for param in method.encoder.parameters():
+            param.data += 1.0
+        before = [p.data.copy() for p in method.target_encoder.parameters()]
+        method.post_step()
+        after = [p.data for p in method.target_encoder.parameters()]
+        assert any(not np.allclose(b, a) for b, a in zip(before, after))
+
+    def test_target_initialized_from_online(self):
+        method = make_method("byol")
+        x = rng(6).standard_normal((4,) + IMAGE_SHAPE)
+        method.encoder.eval()
+        method.target_encoder.eval()
+        from repro.nn import Tensor, no_grad
+        with no_grad():
+            online = method.encoder(Tensor(x)).data
+            target = method.target_encoder(Tensor(x)).data
+        np.testing.assert_allclose(online, target, atol=1e-10)
+
+
+class TestMoCo:
+    def test_queue_advances_after_step(self):
+        method = make_method("mocov2", queue_size=32)
+        queue_before = method.queue.copy()
+        view_e, view_o = make_views(7)
+        method.compute(view_e, view_o)
+        method.post_step()
+        assert not np.allclose(method.queue, queue_before)
+
+    def test_queue_rows_unit_norm(self):
+        method = make_method("mocov2", queue_size=16)
+        view_e, view_o = make_views(8)
+        method.compute(view_e, view_o)
+        method.post_step()
+        norms = np.linalg.norm(method.queue, axis=1)
+        np.testing.assert_allclose(norms, np.ones(16), rtol=1e-6)
+
+    def test_queue_size_validated(self):
+        with pytest.raises(ValueError):
+            make_method("mocov2", queue_size=0)
+
+
+class TestSwAV:
+    def test_prototypes_unit_norm_after_forward(self):
+        method = make_method("swav", num_prototypes=8)
+        view_e, view_o = make_views(9)
+        method.compute(view_e, view_o)
+        norms = np.linalg.norm(method.prototype_head.linear.weight.data, axis=1)
+        np.testing.assert_allclose(norms, np.ones(8), rtol=1e-6)
+
+    def test_num_prototypes_validated(self):
+        with pytest.raises(ValueError):
+            make_method("swav", num_prototypes=1)
+
+
+class TestSMoG:
+    def test_groups_updated_synchronously(self):
+        method = make_method("smog", num_groups=4)
+        groups_before = method.groups.copy()
+        view_e, view_o = make_views(10)
+        method.compute(view_e, view_o)
+        method.post_step()
+        assert not np.allclose(method.groups, groups_before)
+        norms = np.linalg.norm(method.groups, axis=1)
+        np.testing.assert_allclose(norms, np.ones(4), rtol=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_method("smog", num_groups=1)
+        with pytest.raises(ValueError):
+            make_method("smog", group_momentum=1.5)
+
+
+class TestEMA:
+    def test_copy_weights(self):
+        a, b = encoder_factory(), encoder_factory()
+        for param in a.parameters():
+            param.data += 3.0
+        copy_module_weights(a, b)
+        x = rng(11).standard_normal((2,) + IMAGE_SHAPE)
+        a.eval(), b.eval()
+        from repro.nn import Tensor, no_grad
+        with no_grad():
+            np.testing.assert_allclose(a(Tensor(x)).data, b(Tensor(x)).data)
+
+    def test_ema_update_moves_towards_source(self):
+        source, target = encoder_factory(), encoder_factory()
+        copy_module_weights(source, target)
+        for param in source.parameters():
+            param.data += 1.0
+        ema_update(source, target, decay=0.9)
+        source_params = dict(source.named_parameters())
+        for name, param in target.named_parameters():
+            gap = np.abs(source_params[name].data - param.data)
+            np.testing.assert_allclose(gap, np.full_like(gap, 0.9), atol=1e-10)
+
+    def test_decay_validated(self):
+        source, target = encoder_factory(), encoder_factory()
+        with pytest.raises(ValueError):
+            ema_update(source, target, decay=1.5)
+        with pytest.raises(ValueError):
+            EMAUpdater(source, target, decay=-0.1)
+
+    def test_updater_freezes_target(self):
+        source, target = encoder_factory(), encoder_factory()
+        EMAUpdater(source, target, 0.99)
+        assert all(not p.requires_grad for p in target.parameters())

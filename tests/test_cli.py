@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_requires_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_run_accepts_repeated_methods(self):
+        args = build_parser().parse_args(
+            ["run", "--method", "fedavg", "--method", "script-fair"]
+        )
+        assert args.method == ["fedavg", "script-fair"]
+
+    def test_fig3_panel_bounds(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig3", "--panel", "9"])
+
+
+class TestMain:
+    def test_list_prints_methods(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "calibre-simclr" in out
+        assert "fig3 panels:" in out
+
+    def test_run_rejects_unknown_method(self, capsys):
+        assert main(["run", "--method", "bogus"]) == 2
+
+    def test_run_tiny_experiment(self, capsys):
+        code = main([
+            "run", "--method", "script-fair", "--dataset", "cifar10",
+            "--setting", "dirichlet", "--param", "0.5", "--samples", "20",
+            "--rounds", "1", "--clients", "4", "--seed", "0",
+            "--csv",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "script-fair" in out
+        assert "method,mean_accuracy,accuracy_variance" in out
