@@ -1,0 +1,2 @@
+"""Package marker so pytest can import the benchmark modules (``benchmarks.*``)
+and their shared ``conftest`` helpers with relative imports."""

@@ -8,7 +8,6 @@ same algorithm with plain FedAvg weighting (temperature 0), plus the
 inverse mode.
 """
 
-import pytest
 
 from repro.eval import NonIIDSetting, run_experiment
 from repro.experiments import scaled_spec

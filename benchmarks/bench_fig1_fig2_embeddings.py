@@ -9,7 +9,6 @@ quantitatively: uncalibrated SSL feature silhouettes stay below the
 well-clustered threshold that Calibre exceeds in the Fig. 5/6 bench.
 """
 
-import pytest
 
 from repro.eval import NonIIDSetting
 from repro.experiments import compute_method_embeddings

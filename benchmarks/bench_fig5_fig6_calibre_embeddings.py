@@ -8,7 +8,6 @@ Calibre variant's feature-space silhouette exceeds its uncalibrated
 counterpart's.
 """
 
-import pytest
 
 from repro.eval import NonIIDSetting
 from repro.experiments import compute_method_embeddings

@@ -2,17 +2,37 @@
 
 Not a paper table — these track the throughput of the building blocks the
 reproduction stands on (autograd conv, NT-Xent, KMeans, t-SNE, a full
-Calibre loss step) so regressions in the substrate are visible.
+Calibre loss step) so regressions in the substrate are visible, plus the
+federated round loop's rounds/sec under each execution backend
+(:mod:`repro.fl.execution`).
+
+Run under pytest-benchmark for calibrated timings, or directly as a
+script for the CI smoke check and a per-backend rounds/sec comparison::
+
+    python benchmarks/bench_substrate_throughput.py --smoke
+    python benchmarks/bench_substrate_throughput.py --rounds 6 --clients 8
 """
+
+import argparse
+import sys
+import time
 
 import numpy as np
 import pytest
 
 from repro.cluster import kmeans
 from repro.core import cluster_views, prototype_meta_loss
+from repro.eval import build_method, make_dataset, make_encoder_factory
+from repro.eval.harness import NonIIDSetting, make_partitions
+from repro.fl import (
+    FederatedConfig,
+    FederatedServer,
+    available_backends,
+    build_federation,
+    payload_nbytes,
+)
 from repro.manifold import tsne_embed
-from repro.nn import SGD, SmallConvEncoder, Tensor
-from repro.nn import functional as F
+from repro.nn import SmallConvEncoder, Tensor
 from repro.ssl import nt_xent
 
 
@@ -72,3 +92,100 @@ def test_tsne_small(benchmark, rng):
         lambda: tsne_embed(points, perplexity=10.0, n_iterations=100, seed=0),
         rounds=1, iterations=1,
     )
+
+
+# ----------------------------------------------------------------------
+# Federated round loop: rounds/sec per execution backend
+# ----------------------------------------------------------------------
+def _round_loop_setup(num_clients: int, samples_per_client: int = 12):
+    dataset = make_dataset("cifar10", seed=0, image_size=8,
+                           train_per_class=max(samples_per_client, 8),
+                           test_per_class=2)
+    partitions = make_partitions(
+        dataset.train.labels, num_clients,
+        NonIIDSetting("iid", 0, samples_per_client), np.random.default_rng(1),
+    )
+    encoder_factory = make_encoder_factory("mlp", dataset, hidden_dims=(16, 8), seed=7)
+    return dataset, partitions, encoder_factory
+
+
+def run_round_loop(backend: str, workers, rounds: int = 2, num_clients: int = 4,
+                   method: str = "pfl-simclr"):
+    """Time the federated training stage; returns a metrics row."""
+    dataset, partitions, encoder_factory = _round_loop_setup(num_clients)
+    config = FederatedConfig(
+        num_clients=num_clients, clients_per_round=num_clients, rounds=rounds,
+        local_epochs=1, batch_size=8, personalization_epochs=2,
+        personalization_batch_size=8, backend=backend, workers=workers,
+    )
+    clients = build_federation(dataset, partitions, seed=2)
+    algorithm = build_method(method, config, dataset.num_classes, encoder_factory,
+                             projection_dim=8, hidden_dim=16)
+    server = FederatedServer(algorithm, clients, config)
+    # Warm the worker pool (spawn + first pickle round-trip) so the timer
+    # measures steady-state dispatch, which is what the table claims.
+    server.backend.map_clients(abs, list(range(server.backend.workers)))
+    start = time.perf_counter()
+    server.train()
+    elapsed = time.perf_counter() - start
+    server.close()
+    return {
+        "backend": backend,
+        "workers": server.backend.workers,
+        "elapsed_s": elapsed,
+        "rounds_per_sec": rounds / elapsed if elapsed > 0 else float("inf"),
+        "client_payload_bytes": payload_nbytes(clients[0]),
+        "final_loss": server.round_records[-1].mean_loss,
+    }
+
+
+@pytest.mark.parametrize("backend", sorted(available_backends()))
+def test_round_loop_throughput(benchmark, backend):
+    workers = None if backend == "serial" else 2
+    benchmark.pedantic(
+        lambda: run_round_loop(backend, workers, rounds=2, num_clients=4),
+        rounds=1, iterations=1,
+    )
+
+
+# ----------------------------------------------------------------------
+# Script entry point (CI smoke job + manual backend comparison)
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Federated round-loop throughput per execution backend"
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny fixed workload; exits non-zero on any failure "
+                             "or backend disagreement (CI guard)")
+    parser.add_argument("--rounds", type=int, default=4)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker count for parallel backends (default: all cores)")
+    parser.add_argument("--method", default="pfl-simclr")
+    args = parser.parse_args(argv)
+    rounds, clients = (2, 4) if args.smoke else (args.rounds, args.clients)
+
+    rows = []
+    for backend in sorted(available_backends()):
+        workers = 1 if backend == "serial" else args.workers
+        rows.append(run_round_loop(backend, workers, rounds=rounds,
+                                   num_clients=clients, method=args.method))
+
+    print(f"round-loop throughput ({args.method}, {clients} clients, {rounds} rounds, "
+          f"payload {rows[0]['client_payload_bytes']} B/client)")
+    print(f"{'backend':<10}{'workers':>8}{'elapsed_s':>12}{'rounds/sec':>12}{'final_loss':>12}")
+    for row in rows:
+        print(f"{row['backend']:<10}{row['workers']:>8}{row['elapsed_s']:>12.3f}"
+              f"{row['rounds_per_sec']:>12.2f}{row['final_loss']:>12.4f}")
+
+    losses = {row["final_loss"] for row in rows}
+    if len(losses) != 1:
+        print(f"FAIL: backends disagree on final loss: {losses}", file=sys.stderr)
+        return 1
+    print("OK: all backends produced identical final losses")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

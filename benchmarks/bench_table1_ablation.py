@@ -11,7 +11,6 @@ targets (§V-F):
   L_n gain exceeds SwAV's and SMoG's.
 """
 
-import pytest
 
 from repro.eval import format_ablation_table
 from repro.experiments import TABLE1_VARIANTS, run_table1

@@ -1,5 +1,12 @@
-"""Legacy setup shim: the sandbox lacks the ``wheel`` package, so editable
-installs must go through ``setup.py develop`` (``pip install -e . --no-use-pep517``)."""
+"""Legacy escape hatch for sandboxes without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; normal environments
+(including CI) should use ``pip install -e .``.  Environments that cannot
+install ``wheel`` (setuptools < 70.1 needs it to build PEP 660 editable
+wheels) can fall back to::
+
+    pip install -e . --no-use-pep517 --no-build-isolation
+"""
 
 from setuptools import setup
 

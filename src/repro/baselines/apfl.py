@@ -16,7 +16,7 @@ import numpy as np
 
 from ..data.loader import batch_iterator
 from ..fl.algorithm import ClientUpdate
-from ..fl.client import ClientData, derive_rng
+from ..fl.client import ClientData
 from ..fl.personalization import PersonalizationResult
 from ..nn import Tensor, cross_entropy
 from ..nn.serialize import StateDict, clone_state, interpolate_states

@@ -14,9 +14,7 @@ The paper compares Calibre against FedEMA directly (§V-A).
 
 from __future__ import annotations
 
-from typing import Optional
 
-import numpy as np
 
 from ..fl.client import ClientData
 from ..fl.config import FederatedConfig

@@ -10,7 +10,6 @@ runs the adaptation steps on the client's training set before evaluating.
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..data.loader import batch_iterator
 from ..fl.algorithm import ClientUpdate

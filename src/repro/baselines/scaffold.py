@@ -10,7 +10,7 @@ mirroring FedAvg-FT.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -26,7 +26,6 @@ from ..nn.serialize import (
     state_scale,
     state_sub,
     weighted_average,
-    zeros_like_state,
 )
 from .supervised import SupervisedFL
 

@@ -11,7 +11,7 @@ directly and the body/head methods subclass.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -22,7 +22,7 @@ from ..fl.client import ClientData, derive_rng
 from ..fl.config import FederatedConfig
 from ..fl.models import ClassifierModel
 from ..fl.personalization import PersonalizationResult, train_linear_probe
-from ..nn import SGD, Tensor, accuracy, cross_entropy, no_grad
+from ..nn import SGD, Tensor, accuracy, cross_entropy
 from ..nn.serialize import StateDict
 
 __all__ = ["train_supervised_epochs", "evaluate_model", "SupervisedFL"]

@@ -11,6 +11,11 @@ Run one method on a chosen workload::
     python -m repro.cli run --method calibre-simclr --dataset cifar10 \
         --setting quantity --param 2 --samples 50 --rounds 25
 
+Parallelize client execution across processes (results are identical to
+the serial default — only wall-clock changes)::
+
+    python -m repro.cli run --method calibre-simclr --backend process --workers 4
+
 Regenerate a paper panel::
 
     python -m repro.cli fig3 --panel 0
@@ -27,13 +32,13 @@ from typing import List, Optional
 from .eval import (
     NonIIDSetting,
     available_methods,
-    format_comparison_table,
     format_ablation_table,
+    format_comparison_table,
     format_series_csv,
     run_experiment,
 )
+from .fl.execution import available_backends
 from .experiments import (
-    COMPARISON_METHODS,
     FIG3_PANELS,
     FIG4_PANELS,
     run_fig3_panel,
@@ -68,6 +73,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--rounds", type=int, default=SCALED_CONFIG.rounds)
     run_parser.add_argument("--clients", type=int, default=SCALED_CONFIG.num_clients)
     run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--backend", default="serial",
+                            choices=available_backends(),
+                            help="client-execution engine; results are identical "
+                                 "across backends (default: serial)")
+    run_parser.add_argument("--workers", type=int, default=None,
+                            help="worker count for parallel backends "
+                                 "(default: all cores)")
     run_parser.add_argument("--csv", action="store_true",
                             help="also print the CSV series")
 
@@ -94,6 +106,9 @@ def _command_list() -> int:
     print("methods:")
     for name in available_methods():
         print(f"  {name}")
+    print("\nexecution backends:")
+    for name in available_backends():
+        print(f"  {name}")
     print("\nfig3 panels:")
     for index, (dataset, label, setting) in enumerate(FIG3_PANELS):
         print(f"  {index}: {dataset} paper:{label} scaled:{setting.label()}")
@@ -108,10 +123,13 @@ def _command_run(args) -> int:
     if unknown:
         print(f"unknown methods: {unknown}", file=sys.stderr)
         return 2
+    if args.workers is not None and args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
     config = SCALED_CONFIG.with_overrides(
         rounds=args.rounds, num_clients=args.clients,
         clients_per_round=min(SCALED_CONFIG.clients_per_round, args.clients),
-        seed=args.seed,
+        seed=args.seed, backend=args.backend, workers=args.workers,
     )
     spec = scaled_spec(
         args.dataset,

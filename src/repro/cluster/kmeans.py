@@ -13,7 +13,7 @@ self-contained numpy implementation with the features the algorithm needs:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

@@ -37,7 +37,7 @@ from .losses import (
     prototype_contrastive_loss,
     prototype_meta_loss,
 )
-from .prototypes import average_prototype_distance, cluster_views
+from .prototypes import cluster_views
 
 __all__ = ["Calibre"]
 

@@ -16,7 +16,7 @@ The total training-stage loss is ``L = l_c + l_s + α (l_p + l_n)``:
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

@@ -19,7 +19,6 @@ from typing import Optional
 import numpy as np
 
 from ..cluster import kmeans
-from ..nn import functional as F
 from ..nn.tensor import Tensor
 
 __all__ = ["ViewClusters", "cluster_views", "differentiable_prototypes",

@@ -15,7 +15,7 @@ partition can be applied to any dataset split.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

@@ -6,7 +6,7 @@ and by tests to assert partitioner invariants.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -23,7 +23,7 @@ unlabeled pool drawn from the same generative process.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 from scipy import ndimage

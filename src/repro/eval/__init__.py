@@ -1,6 +1,7 @@
 """``repro.eval`` — fairness metrics, the method registry, and the harness."""
 
 from .harness import (
+    EncoderSpec,
     ExperimentOutcome,
     ExperimentSpec,
     NonIIDSetting,
@@ -20,6 +21,7 @@ __all__ = [
     "run_experiment",
     "make_dataset",
     "make_encoder_factory",
+    "EncoderSpec",
     "make_partitions",
     "FairnessReport",
     "fairness_report",

@@ -10,7 +10,7 @@ leaks between methods) and returns comparable summaries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -21,7 +21,7 @@ from ..data.synthetic import (
     make_cifar100_like,
     make_stl10_like,
 )
-from ..fl.client import ClientData, build_federation, build_novel_clients
+from ..fl.client import build_federation, build_novel_clients
 from ..fl.config import FederatedConfig
 from ..fl.history import RunResult
 from ..fl.server import FederatedServer
@@ -30,7 +30,7 @@ from .metrics import FairnessReport, fairness_report
 from .registry import build_method
 
 __all__ = ["NonIIDSetting", "ExperimentSpec", "ExperimentOutcome", "run_experiment",
-           "make_dataset", "make_encoder_factory", "make_partitions"]
+           "make_dataset", "make_encoder_factory", "make_partitions", "EncoderSpec"]
 
 DATASET_FACTORIES = {
     "cifar10": make_cifar10_like,
@@ -92,41 +92,53 @@ def make_dataset(name: str, seed: int = 0, **kwargs) -> SyntheticImageDataset:
     return DATASET_FACTORIES[key](seed=seed, **kwargs)
 
 
-def make_encoder_factory(kind: str, dataset: SyntheticImageDataset,
-                         width: int = 8, hidden_dims=(64, 32), seed: int = 42):
-    """Return a zero-argument encoder constructor for the chosen backbone.
+@dataclass(frozen=True)
+class EncoderSpec:
+    """Picklable zero-argument encoder constructor for a chosen backbone.
 
-    The factory reseeds its own generator at every call so all model
-    replicas (online/target/key networks) start from identical weights.
+    Satisfies the :data:`repro.ssl.EncoderFactory` callable protocol.
+    Algorithms hold their encoder factory, and the process execution
+    backend ships algorithms to workers by pickle — so the factory is a
+    plain dataclass rather than a closure.  Each call reseeds its own
+    generator so all model replicas (online/target/key networks) start
+    from identical weights.
     """
-    kind = kind.lower()
-    if kind not in ENCODER_KINDS:
-        raise KeyError(f"unknown encoder '{kind}'; available: {ENCODER_KINDS}")
-    channels = dataset.channels
-    image_size = dataset.image_size
-    if kind == "mlp":
-        input_dim = channels * image_size * image_size
 
-        def factory():
-            return MLPEncoder(input_dim, hidden_dims=hidden_dims,
-                              rng=np.random.default_rng(seed))
-    elif kind == "smallconv":
+    kind: str
+    channels: int
+    image_size: int
+    width: int = 8
+    hidden_dims: Sequence[int] = (64, 32)
+    seed: int = 42
 
-        def factory():
-            return SmallConvEncoder(in_channels=channels, width=width,
-                                    rng=np.random.default_rng(seed))
-    elif kind == "resnet9":
+    def __post_init__(self):
+        if self.kind not in ENCODER_KINDS:
+            raise KeyError(f"unknown encoder '{self.kind}'; available: {ENCODER_KINDS}")
 
-        def factory():
-            return resnet9(width=width, in_channels=channels,
-                           rng=np.random.default_rng(seed))
-    else:
+    def __call__(self):
+        rng = np.random.default_rng(self.seed)
+        if self.kind == "mlp":
+            input_dim = self.channels * self.image_size * self.image_size
+            return MLPEncoder(input_dim, hidden_dims=tuple(self.hidden_dims), rng=rng)
+        if self.kind == "smallconv":
+            return SmallConvEncoder(in_channels=self.channels, width=self.width, rng=rng)
+        if self.kind == "resnet9":
+            return resnet9(width=self.width, in_channels=self.channels, rng=rng)
+        return resnet18(width=self.width, in_channels=self.channels, rng=rng)
 
-        def factory():
-            return resnet18(width=width, in_channels=channels,
-                            rng=np.random.default_rng(seed))
 
-    return factory
+def make_encoder_factory(kind: str, dataset: SyntheticImageDataset,
+                         width: int = 8, hidden_dims=(64, 32), seed: int = 42
+                         ) -> EncoderSpec:
+    """Build a picklable encoder factory for the chosen backbone."""
+    return EncoderSpec(
+        kind=kind.lower(),
+        channels=dataset.channels,
+        image_size=dataset.image_size,
+        width=width,
+        hidden_dims=tuple(hidden_dims),
+        seed=seed,
+    )
 
 
 @dataclass
@@ -164,8 +176,20 @@ class ExperimentOutcome:
         ]
 
 
-def run_experiment(spec: ExperimentSpec, verbose: bool = False) -> ExperimentOutcome:
-    """Run every method of ``spec`` on identical data partitions."""
+def run_experiment(spec: ExperimentSpec, verbose: bool = False,
+                   backend: Optional[str] = None,
+                   workers: Optional[int] = None) -> ExperimentOutcome:
+    """Run every method of ``spec`` on identical data partitions.
+
+    ``backend``/``workers`` override the spec's execution engine (see
+    :mod:`repro.fl.execution`); results are identical across backends, only
+    wall-clock time changes.
+    """
+    if backend is not None or workers is not None:
+        spec = replace(spec, config=spec.config.with_overrides(
+            **({"backend": backend} if backend is not None else {}),
+            **({"workers": workers} if workers is not None else {}),
+        ))
     dataset = make_dataset(spec.dataset, seed=spec.seed, **spec.dataset_kwargs)
     partition_rng = np.random.default_rng(spec.seed + 1)
     partitions = make_partitions(

@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from .harness import ExperimentOutcome
-from .metrics import FairnessReport
 
 __all__ = ["format_comparison_table", "format_ablation_table", "format_series_csv"]
 

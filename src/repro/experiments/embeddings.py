@@ -23,12 +23,12 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..eval.harness import NonIIDSetting, make_partitions, run_experiment
+from ..eval.harness import NonIIDSetting, make_partitions
 from ..eval.registry import build_method
 from ..fl.client import build_federation
 from ..fl.server import FederatedServer
 from ..manifold import silhouette_score, tsne_embed
-from .settings import CALIBRE_OVERRIDES, SCALED_CONFIG, scaled_spec
+from .settings import scaled_spec
 from ..eval.harness import make_dataset, make_encoder_factory
 
 __all__ = ["EmbeddingResult", "compute_method_embeddings", "FIGURE_METHOD_SETS"]
@@ -103,7 +103,10 @@ def compute_method_embeddings(
                                  encoder_factory,
                                  **spec.method_overrides.get(method_name, {}))
         server = FederatedServer(algorithm, clients, spec.config)
-        global_state = server.train()
+        try:
+            global_state = server.train()
+        finally:
+            server.close()  # train() alone never releases the worker pool
 
         chosen = clients[:num_embed_clients]
         feature_blocks, label_blocks, client_blocks = [], [], []

@@ -9,9 +9,9 @@ low-variance (fair) region.  :func:`run_fig3_panel` regenerates one panel's
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
-from ..eval.harness import ExperimentOutcome, NonIIDSetting, run_experiment
+from ..eval.harness import ExperimentOutcome, run_experiment
 from ..eval.reporting import format_comparison_table, format_series_csv
 from .settings import COMPARISON_METHODS, FIG3_PANELS, scaled_spec
 

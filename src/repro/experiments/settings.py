@@ -15,11 +15,10 @@ Both flow through identical code paths.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from ..eval.harness import ExperimentSpec, NonIIDSetting
-from ..fl.config import PAPER_CONFIG, FederatedConfig
+from ..fl.config import FederatedConfig
 
 __all__ = [
     "SCALED_CONFIG",

@@ -7,8 +7,25 @@ personalization stage.
 """
 
 from .algorithm import ClientUpdate, FederatedAlgorithm
-from .client import ClientData, build_federation, build_novel_clients, derive_rng
+from .client import (
+    ClientData,
+    build_federation,
+    build_novel_clients,
+    derive_rng,
+    payload_nbytes,
+)
 from .config import PAPER_CONFIG, FederatedConfig
+from .execution import (
+    BACKENDS,
+    ExecutionBackend,
+    ExecutionError,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_backends,
+    derive_client_rng,
+    resolve_backend,
+)
 from .history import RoundRecord, RunResult
 from .models import ENCODER_PREFIX, HEAD_PREFIX, ClassifierModel
 from .personalization import (
@@ -26,9 +43,19 @@ __all__ = [
     "build_federation",
     "build_novel_clients",
     "derive_rng",
+    "payload_nbytes",
     "ClientUpdate",
     "FederatedAlgorithm",
     "FederatedServer",
+    "ExecutionBackend",
+    "ExecutionError",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "BACKENDS",
+    "available_backends",
+    "resolve_backend",
+    "derive_client_rng",
     "RandomSampler",
     "RoundRobinSampler",
     "RoundRecord",

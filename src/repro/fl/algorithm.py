@@ -17,7 +17,7 @@ weighting).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 
@@ -100,5 +100,12 @@ class FederatedAlgorithm:
         )
 
     def rng_for(self, client: ClientData, round_index: int) -> np.random.Generator:
-        """Per-(seed, round, client) generator."""
-        return derive_rng(self.config.seed, round_index, client.client_id)
+        """Per-(seed, round, client) generator.
+
+        Delegates to the canonical derivation in :mod:`repro.fl.execution`
+        so local updates stay independent of dispatch order and the
+        parallel backends reproduce serial runs exactly.
+        """
+        from .execution import derive_client_rng
+
+        return derive_client_rng(self.config.seed, round_index, client.client_id)

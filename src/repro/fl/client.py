@@ -6,6 +6,12 @@ on a local test set with the same class distribution as the local training
 set), an optional shard of unlabeled data (STL-10), and a ``store`` dict
 that stateful algorithms (SCAFFOLD, APFL, Ditto, FedPer, ...) use to keep
 per-client variables across rounds.
+
+Clients are also the payloads the execution backends ship to workers
+(:mod:`repro.fl.execution`): a :class:`ClientData` — including everything
+algorithms put in ``store`` (state dicts, numpy arrays, plain containers)
+— must stay picklable, or the process backend degrades to serial.  Use
+:func:`payload_nbytes` to measure what one client costs on the wire.
 """
 
 from __future__ import annotations
@@ -18,7 +24,13 @@ import numpy as np
 from ..data.partition import stratified_split
 from ..data.synthetic import DataSplit, SyntheticImageDataset
 
-__all__ = ["ClientData", "build_federation", "build_novel_clients", "derive_rng"]
+__all__ = [
+    "ClientData",
+    "build_federation",
+    "build_novel_clients",
+    "derive_rng",
+    "payload_nbytes",
+]
 
 
 @dataclass
@@ -49,8 +61,25 @@ class ClientData:
 
 
 def derive_rng(seed: int, *streams: int) -> np.random.Generator:
-    """Deterministic per-(round, client, ...) generator derivation."""
+    """Deterministic per-(round, client, ...) generator derivation.
+
+    Pure in its arguments — never dependent on call order — which is the
+    property the parallel execution backends need to reproduce serial runs
+    bitwise (see :mod:`repro.fl.execution`).
+    """
     return np.random.default_rng([seed] + [int(s) + 1 for s in streams])
+
+
+def payload_nbytes(client: "ClientData") -> int:
+    """Pickled size of one client payload as shipped to a process worker.
+
+    Raises the underlying pickling error for unpicklable ``store`` entries,
+    which is the same condition that makes the process backend fall back to
+    serial — so tests and benchmarks can assert the contract directly.
+    """
+    import pickle
+
+    return len(pickle.dumps(client, protocol=pickle.HIGHEST_PROTOCOL))
 
 
 def build_federation(

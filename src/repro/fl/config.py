@@ -9,13 +9,20 @@ without changing any code path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 
 @dataclass(frozen=True)
 class FederatedConfig:
-    """Knobs of one federated run."""
+    """Knobs of one federated run.
+
+    ``backend``/``workers`` select the client-execution engine (see
+    :mod:`repro.fl.execution`): ``"serial"`` (default), ``"thread"``, or
+    ``"process"``, with ``workers=None`` meaning "all available cores".
+    Backends are bitwise-deterministic, so these knobs change wall-clock
+    time, never results.
+    """
 
     num_clients: int = 20
     clients_per_round: int = 5
@@ -31,6 +38,8 @@ class FederatedConfig:
     test_fraction: float = 0.25
     num_novel_clients: int = 0
     seed: int = 0
+    backend: str = "serial"
+    workers: Optional[int] = None
 
     def __post_init__(self):
         if self.num_clients < 1:
@@ -49,6 +58,14 @@ class FederatedConfig:
             raise ValueError("test_fraction must be in (0, 1)")
         if self.num_novel_clients < 0:
             raise ValueError("num_novel_clients must be >= 0")
+        from .execution import available_backends, resolve_workers
+
+        if not isinstance(self.backend, str) or self.backend.lower() not in available_backends():
+            raise ValueError(
+                f"unknown execution backend {self.backend!r}; "
+                f"available: {available_backends()}"
+            )
+        resolve_workers(self.workers)  # raises on non-positive / non-int values
 
     def with_overrides(self, **kwargs) -> "FederatedConfig":
         """Return a copy with fields replaced."""

@@ -4,11 +4,20 @@ Mirrors the experiment protocol of §V-A: train the global model for R
 rounds with a sampled subset of clients per round, then have *all* clients
 — training clients and novel clients alike — download the final global
 model and run the personalization stage.
+
+Both stages dispatch per-client work through a pluggable
+:class:`~repro.fl.execution.ExecutionBackend` (serial, thread pool, or
+process pool).  Tasks are pure: they return the client update *and* the
+client's mutated store, and the server writes both back on the
+coordinating process, so results are identical across backends (see the
+determinism contract in :mod:`repro.fl.execution`).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import functools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -16,10 +25,39 @@ from ..nn.serialize import StateDict
 from .algorithm import ClientUpdate, FederatedAlgorithm
 from .client import ClientData
 from .config import FederatedConfig
+from .execution import ExecutionBackend, resolve_backend
 from .history import RoundRecord, RunResult
 from .sampler import RandomSampler
 
 __all__ = ["FederatedServer"]
+
+
+@dataclass
+class _ClientOutcome:
+    """What one client task ships back to the coordinator.
+
+    ``store`` carries the client's persistent algorithm state: under the
+    process backend the worker mutates a pickled copy of the client, so the
+    store must travel back explicitly for the server to reattach.
+    """
+
+    client_id: int
+    result: object
+    store: Dict
+
+
+def _local_update_task(algorithm: FederatedAlgorithm, global_state: StateDict,
+                       round_index: int, client: ClientData) -> _ClientOutcome:
+    """One sampled client's round contribution (module-level: picklable)."""
+    update = algorithm.local_update(client, global_state, round_index)
+    return _ClientOutcome(client.client_id, update, client.store)
+
+
+def _personalize_task(algorithm: FederatedAlgorithm, global_state: StateDict,
+                      client: ClientData) -> _ClientOutcome:
+    """One client's personalization stage (module-level: picklable)."""
+    result = algorithm.personalize(client, global_state)
+    return _ClientOutcome(client.client_id, result, client.store)
 
 
 class FederatedServer:
@@ -32,6 +70,7 @@ class FederatedServer:
         config: FederatedConfig,
         novel_clients: Sequence[ClientData] = (),
         sampler=None,
+        backend: Union[ExecutionBackend, str, None] = None,
         verbose: bool = False,
     ):
         if not clients:
@@ -43,9 +82,28 @@ class FederatedServer:
         self.sampler = sampler if sampler is not None else RandomSampler(
             min(config.clients_per_round, len(self.clients)), seed=config.seed
         )
+        # An explicit backend (instance or name) overrides the config knobs;
+        # the server owns — and closes — only backends it created itself.
+        self._owns_backend = not isinstance(backend, ExecutionBackend)
+        self.backend = resolve_backend(
+            backend if backend is not None else config.backend,
+            workers=config.workers,
+        )
         self.verbose = verbose
         self.global_state: Optional[StateDict] = None
         self.round_records: List[RoundRecord] = []
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, task, clients: Sequence[ClientData]) -> List[_ClientOutcome]:
+        """Map a client task through the backend and reattach stores."""
+        outcomes = self.backend.map_clients(task, clients)
+        for client, outcome in zip(clients, outcomes):
+            client.store = outcome.store
+        return outcomes
+
+    def close(self) -> None:
+        """Release execution-backend resources (worker pools)."""
+        self.backend.close()
 
     # ------------------------------------------------------------------
     def train(self) -> StateDict:
@@ -53,10 +111,12 @@ class FederatedServer:
         self.global_state = self.algorithm.build_global_state()
         for round_index in range(self.config.rounds):
             participants = self.sampler.sample(self.clients, round_index)
-            updates: List[ClientUpdate] = []
-            for client in participants:
-                update = self.algorithm.local_update(client, self.global_state, round_index)
-                updates.append(update)
+            task = functools.partial(
+                _local_update_task, self.algorithm, self.global_state, round_index
+            )
+            updates: List[ClientUpdate] = [
+                outcome.result for outcome in self._dispatch(task, participants)
+            ]
             self.global_state = self.algorithm.aggregate(
                 updates, self.global_state, round_index
             )
@@ -81,14 +141,14 @@ class FederatedServer:
         """Run the personalization stage on every client (train + novel)."""
         if self.global_state is None:
             raise RuntimeError("train() must run before personalize_all()")
-        accuracies = {}
-        for client in self.clients:
-            result = self.algorithm.personalize(client, self.global_state)
-            accuracies[client.client_id] = result.accuracy
-        novel_accuracies = {}
-        for client in self.novel_clients:
-            result = self.algorithm.personalize(client, self.global_state)
-            novel_accuracies[client.client_id] = result.accuracy
+        task = functools.partial(_personalize_task, self.algorithm, self.global_state)
+        everyone = self.clients + self.novel_clients
+        outcomes = self._dispatch(task, everyone)
+        accuracies: Dict[int, float] = {}
+        novel_accuracies: Dict[int, float] = {}
+        for client, outcome in zip(everyone, outcomes):
+            target = novel_accuracies if client.is_novel else accuracies
+            target[client.client_id] = outcome.result.accuracy
         return RunResult(
             algorithm=self.algorithm.name,
             accuracies=accuracies,
@@ -98,5 +158,9 @@ class FederatedServer:
 
     def run(self) -> RunResult:
         """Full experiment: training stage then personalization stage."""
-        self.train()
-        return self.personalize_all()
+        try:
+            self.train()
+            return self.personalize_all()
+        finally:
+            if self._owns_backend:
+                self.close()

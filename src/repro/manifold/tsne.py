@@ -11,7 +11,6 @@ the few-hundred-point scale of the paper's figures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

@@ -15,7 +15,7 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from .tensor import Tensor, as_tensor, unbroadcast
+from .tensor import Tensor, as_tensor
 
 __all__ = [
     "relu",

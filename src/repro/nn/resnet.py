@@ -14,8 +14,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from . import functional as F
-from .layers import BatchNorm2d, Conv2d, GlobalAvgPool2d, Identity, Linear, ReLU
+from .layers import BatchNorm2d, Conv2d, GlobalAvgPool2d, Identity, ReLU
 from .module import Module, Sequential
 from .tensor import Tensor
 

@@ -21,7 +21,6 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
-from ..nn import functional as F
 from ..nn.module import Module
 from ..nn.serialize import StateDict, merge_states, split_state
 from ..nn.tensor import Tensor, no_grad

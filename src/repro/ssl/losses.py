@@ -9,7 +9,6 @@ serves SwAV's balanced cluster assignment.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
 
 import numpy as np
 

@@ -12,7 +12,6 @@ from typing import Optional
 
 import numpy as np
 
-from ..nn import functional as F
 from ..nn.tensor import Tensor, no_grad
 from .base import EncoderFactory, SSLMethod, SSLOutputs
 from .ema import EMAUpdater

@@ -7,7 +7,7 @@ the data behind every figure is regenerable and plottable elsewhere.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

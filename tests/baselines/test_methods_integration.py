@@ -8,7 +8,7 @@ determinism, state-shape discipline, and method-specific invariants.
 import numpy as np
 import pytest
 
-from repro.data import make_cifar10_like, partition_dirichlet, partition_quantity_label
+from repro.data import make_cifar10_like, partition_dirichlet
 from repro.eval import available_methods, build_method
 from repro.fl import FederatedConfig, FederatedServer, build_federation
 from repro.nn import MLPEncoder

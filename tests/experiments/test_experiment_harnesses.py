@@ -1,6 +1,5 @@
 """Tests for the per-figure experiment harnesses (scaled way down)."""
 
-import numpy as np
 import pytest
 
 from repro.eval import NonIIDSetting

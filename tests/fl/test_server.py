@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data import DataSplit, make_cifar10_like, partition_iid
+from repro.data import make_cifar10_like, partition_iid
 from repro.fl import (
     ClientData,
     ClientUpdate,

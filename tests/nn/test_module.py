@@ -13,7 +13,6 @@ from repro.nn import (
     Linear,
     Module,
     ModuleList,
-    Parameter,
     ReLU,
     Sequential,
     Tensor,

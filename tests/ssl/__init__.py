@@ -1,0 +1,1 @@
+"""Package marker so pytest imports tests as the ``tests.ssl`` package."""

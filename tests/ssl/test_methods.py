@@ -6,10 +6,6 @@ import pytest
 from repro.nn import MLPEncoder, SGD
 from repro.ssl import (
     SSL_METHODS,
-    BYOL,
-    MoCoV2,
-    SMoG,
-    SwAV,
     build_ssl_method,
     copy_module_weights,
     ema_update,
