@@ -110,18 +110,29 @@ def _round_loop_setup(num_clients: int, samples_per_client: int = 12):
 
 
 def run_round_loop(backend: str, workers, rounds: int = 2, num_clients: int = 4,
-                   method: str = "pfl-simclr"):
-    """Time the federated training stage; returns a metrics row."""
+                   method: str = "pfl-simclr", shared_memory=None, label=None):
+    """Time the federated training stage; returns a metrics row.
+
+    ``payload_inline_bytes`` is what one client costs on the wire with its
+    arrays pickled inline; ``payload_wire_bytes`` is what it actually costs
+    under the chosen configuration (identical unless the shared-memory data
+    plane is active, which replaces the arrays with handles).  Both are
+    measured before training so they isolate the dataset-shipping cost the
+    plane eliminates, not the algorithm state that must travel regardless.
+    """
     dataset, partitions, encoder_factory = _round_loop_setup(num_clients)
     config = FederatedConfig(
         num_clients=num_clients, clients_per_round=num_clients, rounds=rounds,
         local_epochs=1, batch_size=8, personalization_epochs=2,
         personalization_batch_size=8, backend=backend, workers=workers,
+        shared_memory=shared_memory,
     )
     clients = build_federation(dataset, partitions, seed=2)
     algorithm = build_method(method, config, dataset.num_classes, encoder_factory,
                              projection_dim=8, hidden_dim=16)
     server = FederatedServer(algorithm, clients, config)
+    payload_inline = payload_nbytes(clients[0], inline=True)
+    payload_wire = payload_nbytes(clients[0])
     # Warm the worker pool (spawn + first pickle round-trip) so the timer
     # measures steady-state dispatch, which is what the table claims.
     server.backend.map_clients(abs, list(range(server.backend.workers)))
@@ -130,11 +141,13 @@ def run_round_loop(backend: str, workers, rounds: int = 2, num_clients: int = 4,
     elapsed = time.perf_counter() - start
     server.close()
     return {
-        "backend": backend,
+        "backend": label or backend,
         "workers": server.backend.workers,
+        "shared_memory": server.shared_memory_active,
         "elapsed_s": elapsed,
         "rounds_per_sec": rounds / elapsed if elapsed > 0 else float("inf"),
-        "client_payload_bytes": payload_nbytes(clients[0]),
+        "payload_inline_bytes": payload_inline,
+        "payload_wire_bytes": payload_wire,
         "final_loss": server.round_records[-1].mean_loss,
     }
 
@@ -156,35 +169,76 @@ def main(argv=None) -> int:
         description="Federated round-loop throughput per execution backend"
     )
     parser.add_argument("--smoke", action="store_true",
-                        help="tiny fixed workload; exits non-zero on any failure "
-                             "or backend disagreement (CI guard)")
+                        help="tiny fixed workload; exits non-zero on any failure, "
+                             "backend disagreement, or a shared-memory payload "
+                             "reduction below 10x (CI guard)")
     parser.add_argument("--rounds", type=int, default=4)
     parser.add_argument("--clients", type=int, default=8)
     parser.add_argument("--workers", type=int, default=None,
                         help="worker count for parallel backends (default: all cores)")
     parser.add_argument("--method", default="pfl-simclr")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the result rows as JSON (CI artifact)")
     args = parser.parse_args(argv)
     rounds, clients = (2, 4) if args.smoke else (args.rounds, args.clients)
 
-    rows = []
+    # One row per backend, plus the process backend with the shared-memory
+    # data plane explicitly off, so the payload columns show exactly what
+    # the plane buys (process rows default to plane-on).
+    variants = []
     for backend in sorted(available_backends()):
         workers = 1 if backend == "serial" else args.workers
-        rows.append(run_round_loop(backend, workers, rounds=rounds,
-                                   num_clients=clients, method=args.method))
+        if backend == "process":
+            variants.append((backend, workers, False, "process"))
+            variants.append((backend, workers, None, "process+shm"))
+        else:
+            variants.append((backend, workers, None, backend))
+    rows = [
+        run_round_loop(backend, workers, rounds=rounds, num_clients=clients,
+                       method=args.method, shared_memory=shared, label=label)
+        for backend, workers, shared, label in variants
+    ]
 
-    print(f"round-loop throughput ({args.method}, {clients} clients, {rounds} rounds, "
-          f"payload {rows[0]['client_payload_bytes']} B/client)")
-    print(f"{'backend':<10}{'workers':>8}{'elapsed_s':>12}{'rounds/sec':>12}{'final_loss':>12}")
+    print(f"round-loop throughput ({args.method}, {clients} clients, {rounds} rounds)")
+    print(f"{'backend':<13}{'workers':>8}{'elapsed_s':>12}{'rounds/sec':>12}"
+          f"{'inline_B':>10}{'wire_B':>10}{'final_loss':>12}")
     for row in rows:
-        print(f"{row['backend']:<10}{row['workers']:>8}{row['elapsed_s']:>12.3f}"
-              f"{row['rounds_per_sec']:>12.2f}{row['final_loss']:>12.4f}")
+        print(f"{row['backend']:<13}{row['workers']:>8}{row['elapsed_s']:>12.3f}"
+              f"{row['rounds_per_sec']:>12.2f}{row['payload_inline_bytes']:>10}"
+              f"{row['payload_wire_bytes']:>10}{row['final_loss']:>12.4f}")
 
+    if args.json:
+        import json
+
+        payload = {
+            "method": args.method, "clients": clients, "rounds": rounds,
+            "rows": rows,
+        }
+        with open(args.json, "w") as stream:
+            json.dump(payload, stream, indent=2)
+        print(f"wrote {args.json}")
+
+    status = 0
     losses = {row["final_loss"] for row in rows}
     if len(losses) != 1:
         print(f"FAIL: backends disagree on final loss: {losses}", file=sys.stderr)
-        return 1
-    print("OK: all backends produced identical final losses")
-    return 0
+        status = 1
+    else:
+        print("OK: all backends produced identical final losses")
+    shm_rows = [row for row in rows if row["shared_memory"]]
+    if shm_rows:
+        reduction = min(row["payload_inline_bytes"] / max(row["payload_wire_bytes"], 1)
+                        for row in shm_rows)
+        if reduction < 10.0:
+            print(f"FAIL: shared-memory payload reduction only {reduction:.1f}x",
+                  file=sys.stderr)
+            status = 1
+        else:
+            print(f"OK: shared-memory plane cuts the pickled client payload "
+                  f"{reduction:.1f}x")
+    elif args.smoke:
+        print("note: shared-memory plane unavailable here; payload gate skipped")
+    return status
 
 
 if __name__ == "__main__":

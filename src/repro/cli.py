@@ -80,6 +80,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--workers", type=int, default=None,
                             help="worker count for parallel backends "
                                  "(default: all cores)")
+    run_parser.add_argument("--shared-memory", default="auto",
+                            choices=["auto", "on", "off"],
+                            help="zero-copy shared-memory client-data plane "
+                                 "(process backend only): 'auto' enables it "
+                                 "when available, 'on' warns if it cannot "
+                                 "activate, 'off' pickles datasets inline")
     run_parser.add_argument("--csv", action="store_true",
                             help="also print the CSV series")
 
@@ -130,6 +136,7 @@ def _command_run(args) -> int:
         rounds=args.rounds, num_clients=args.clients,
         clients_per_round=min(SCALED_CONFIG.clients_per_round, args.clients),
         seed=args.seed, backend=args.backend, workers=args.workers,
+        shared_memory={"auto": None, "on": True, "off": False}[args.shared_memory],
     )
     spec = scaled_spec(
         args.dataset,

@@ -31,6 +31,51 @@ def _labels_by_class(labels: np.ndarray, num_classes: int) -> List[np.ndarray]:
     return [np.flatnonzero(labels == k) for k in range(num_classes)]
 
 
+def _make_class_drawer(by_class: List[np.ndarray], rng: np.random.Generator):
+    """A ``draw(class_id, count)`` closure over per-class sample pools.
+
+    Draws without replacement within one pass over a class's shuffled
+    indices and reshuffles ("recycles") the pool as many times as the
+    request needs — so a draw always returns exactly ``count`` indices, no
+    matter how small the class is relative to the demand.  (A single
+    recycle followed by a plain slice would silently return fewer samples,
+    corrupting per-client quotas and with them the accuracy mean and the
+    variance-based fairness metric.)  Drawing from a class with no samples
+    at all cannot be satisfied by recycling and raises instead.
+    """
+    cursors = [rng.permutation(idx) for idx in by_class]
+    offsets = [0] * len(by_class)
+
+    def draw(class_id: int, count: int) -> np.ndarray:
+        source = by_class[class_id]
+        if count <= 0:
+            return source[:0]
+        if source.size == 0:
+            raise ValueError(
+                f"cannot draw {count} sample(s) from class {class_id}: "
+                "no samples with that label exist in the dataset"
+            )
+        pool = cursors[class_id]
+        start = offsets[class_id]
+        if start + count > pool.shape[0]:
+            # Drop the consumed prefix (bounds memory under heavy
+            # recycling) and append however many reshuffles the deficit
+            # needs in one concatenate (linear, not quadratic, in the
+            # demand).  Neither step changes which indices are drawn.
+            pool = pool[start:]
+            start = 0
+            deficit = count - pool.shape[0]
+            refills = -(-deficit // source.size)  # ceil division
+            pool = np.concatenate(
+                [pool] + [rng.permutation(source) for _ in range(refills)]
+            )
+        cursors[class_id] = pool
+        offsets[class_id] = start + count
+        return pool[start : start + count]
+
+    return draw
+
+
 def partition_iid(
     labels: np.ndarray, num_clients: int, rng: np.random.Generator,
     samples_per_client: Optional[int] = None,
@@ -95,20 +140,7 @@ def partition_quantity_label(
                 slots[c, j] = replacement
             seen.add(int(slots[c, j]))
 
-    by_class = _labels_by_class(labels, num_classes)
-    cursors = [rng.permutation(idx) for idx in by_class]
-    offsets = [0] * num_classes
-
-    def draw(class_id: int, count: int) -> np.ndarray:
-        pool = cursors[class_id]
-        start = offsets[class_id]
-        if start + count > pool.shape[0]:
-            # Recycle the class pool (sampling with replacement across cycles)
-            # so small datasets can still host many clients.
-            cursors[class_id] = np.concatenate([pool, rng.permutation(by_class[class_id])])
-            pool = cursors[class_id]
-        offsets[class_id] = start + count
-        return pool[start : start + count]
+    draw = _make_class_drawer(_labels_by_class(labels, num_classes), rng)
 
     partitions: List[np.ndarray] = []
     for c in range(num_clients):
@@ -145,18 +177,7 @@ def partition_dirichlet(
     if samples_per_client < min_samples:
         raise ValueError("samples_per_client below min_samples")
 
-    by_class = _labels_by_class(labels, num_classes)
-    cursors = [rng.permutation(idx) for idx in by_class]
-    offsets = [0] * num_classes
-
-    def draw(class_id: int, count: int) -> np.ndarray:
-        pool = cursors[class_id]
-        start = offsets[class_id]
-        if start + count > pool.shape[0]:
-            cursors[class_id] = np.concatenate([pool, rng.permutation(by_class[class_id])])
-            pool = cursors[class_id]
-        offsets[class_id] = start + count
-        return pool[start : start + count]
+    draw = _make_class_drawer(_labels_by_class(labels, num_classes), rng)
 
     partitions: List[np.ndarray] = []
     for _ in range(num_clients):

@@ -1,0 +1,372 @@
+"""Zero-copy shared-memory data plane for the process execution backend.
+
+The process backend ships every sampled client across the process boundary
+by pickle each round.  Client images dominate that payload: at the paper's
+scale (100 clients x 200 rounds, §V-A) the round loop is bound by IPC,
+not compute.  This module removes the dataset from the wire:
+
+* :class:`SharedArrayStore` owns one ``multiprocessing.shared_memory``
+  segment and packs each client's ``train``/``test``/``unlabeled`` arrays
+  into it exactly once, on the coordinator;
+* :class:`ArrayHandle` / :class:`DataSplitHandle` are lightweight references
+  that pickle as ``(segment name, shape, dtype, offset)`` and lazily
+  reattach the segment inside workers, exposing read-only numpy views.
+
+With the plane active, a pickled client costs O(model + store) instead of
+O(dataset); the arrays themselves cross the boundary zero-copy through the
+kernel's shared mappings.  Determinism is untouched — workers read the very
+bytes the coordinator wrote.
+
+Ownership rules
+---------------
+The coordinator creates the segment and is the only process that unlinks
+it (:meth:`SharedArrayStore.close`, also hooked on ``atexit``).  Worker
+processes only ever attach; attachments are cached per process and closed
+at worker exit.  On the coordinator, handles keep the original arrays, so
+clients stay fully usable even after the store is closed — and no numpy
+view into the segment is ever created on the owner side (a live view
+would make ``SharedMemory.close`` raise ``BufferError``).
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+import weakref
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+try:
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # stripped-down builds without _multiprocessing
+    _shared_memory = None
+
+from .synthetic import DataSplit
+
+__all__ = [
+    "ArrayHandle",
+    "DataSplitHandle",
+    "SharedArrayStore",
+    "share_client_splits",
+    "shared_memory_available",
+    "unshare_client_splits",
+]
+
+_ALIGNMENT = 64  # cache-line alignment for every packed array
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+
+
+def shared_memory_available() -> bool:
+    """True when a shared-memory segment can actually be created here.
+
+    Creating a 1-byte probe segment catches every failure mode at once:
+    missing ``_multiprocessing``, an unmounted ``/dev/shm``, and sandboxes
+    that forbid ``shm_open``.
+    """
+    if _shared_memory is None:
+        return False
+    try:
+        probe = _shared_memory.SharedMemory(create=True, size=1)
+    except (OSError, PermissionError, ValueError):
+        return False
+    try:
+        probe.close()
+        probe.unlink()
+    except OSError:
+        pass
+    return True
+
+
+# ----------------------------------------------------------------------
+# Worker-side attachment cache
+# ----------------------------------------------------------------------
+_ATTACHED: Dict[str, "_shared_memory.SharedMemory"] = {}
+_ATTACH_LOCK = threading.Lock()
+
+
+def _attach_segment(name: str):
+    """Attach (once per process) to the named segment.
+
+    CPython < 3.13 registers attached segments with the resource tracker.
+    Pool workers are children of the coordinator and share its tracker, so
+    the extra registration is an idempotent set-add — it must NOT be
+    undone here: the tracker keeps one entry per name, and unregistering
+    from a worker would strip the coordinator's own registration, breaking
+    the balanced unregister its ``unlink`` performs.  The shared tracker
+    also gives crash safety for free: if the coordinator dies without
+    closing, the tracker unlinks the segment at shutdown.
+    """
+    if _shared_memory is None:
+        raise OSError("multiprocessing.shared_memory is unavailable")
+    with _ATTACH_LOCK:
+        segment = _ATTACHED.get(name)
+        if segment is None:
+            segment = _shared_memory.SharedMemory(name=name)
+            _ATTACHED[name] = segment
+        return segment
+
+
+@atexit.register
+def _close_attachments() -> None:
+    with _ATTACH_LOCK:
+        for segment in _ATTACHED.values():
+            try:
+                segment.close()
+            except (BufferError, OSError):
+                pass  # live views at interpreter exit; the OS reclaims maps
+        _ATTACHED.clear()
+
+
+# ----------------------------------------------------------------------
+# Handles
+# ----------------------------------------------------------------------
+class ArrayHandle:
+    """A picklable reference to one array inside a :class:`SharedArrayStore`.
+
+    Pickles as ``(name, shape, dtype, offset)``.  On the owner side the
+    handle keeps the original array (``resolve`` never touches the
+    segment); an unpickled replica lazily attaches the segment and exposes
+    a read-only view over the shared bytes.
+    """
+
+    __slots__ = ("name", "shape", "dtype", "offset", "_array")
+
+    def __init__(self, name: str, shape: Sequence[int], dtype, offset: int,
+                 array: Optional[np.ndarray] = None):
+        self.name = name
+        self.shape = tuple(int(dim) for dim in shape)
+        self.dtype = np.dtype(dtype)
+        self.offset = int(offset)
+        self._array = array
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * self.dtype.itemsize
+
+    def resolve(self) -> np.ndarray:
+        if self._array is None:
+            segment = _attach_segment(self.name)
+            view = np.ndarray(self.shape, dtype=self.dtype,
+                              buffer=segment.buf, offset=self.offset)
+            view.flags.writeable = False
+            self._array = view
+        return self._array
+
+    def __reduce__(self):
+        return (ArrayHandle, (self.name, self.shape, self.dtype.str, self.offset))
+
+    def __repr__(self) -> str:
+        return (f"ArrayHandle(name={self.name!r}, shape={self.shape}, "
+                f"dtype={self.dtype}, offset={self.offset})")
+
+
+class DataSplitHandle:
+    """Duck-typed stand-in for :class:`~repro.data.synthetic.DataSplit`.
+
+    Exposes the same read interface (``images``, ``labels``, ``len``,
+    ``subset``, ``num_classes``) but pickles as two :class:`ArrayHandle`\\ s,
+    so shipping a client to a worker costs bytes, not the dataset.
+    """
+
+    __slots__ = ("images_handle", "labels_handle")
+
+    def __init__(self, images_handle: ArrayHandle, labels_handle: ArrayHandle):
+        self.images_handle = images_handle
+        self.labels_handle = labels_handle
+
+    @property
+    def images(self) -> np.ndarray:
+        return self.images_handle.resolve()
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self.labels_handle.resolve()
+
+    def __len__(self) -> int:
+        return self.images_handle.shape[0]
+
+    def subset(self, indices: np.ndarray) -> DataSplit:
+        indices = np.asarray(indices)
+        return DataSplit(self.images[indices], self.labels[indices])
+
+    @property
+    def num_classes(self) -> int:
+        labels = self.labels
+        labeled = labels[labels >= 0]
+        return int(labeled.max()) + 1 if labeled.size else 0
+
+    def materialize(self) -> DataSplit:
+        """An ordinary in-process :class:`DataSplit` copy of this handle."""
+        return DataSplit(self.images.copy(), self.labels.copy())
+
+    def __reduce__(self):
+        return (DataSplitHandle, (self.images_handle, self.labels_handle))
+
+    def __repr__(self) -> str:
+        return (f"DataSplitHandle(n={len(self)}, "
+                f"segment={self.images_handle.name!r})")
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+_LIVE_STORES: "weakref.WeakSet[SharedArrayStore]" = weakref.WeakSet()
+
+
+class SharedArrayStore:
+    """One shared-memory segment packing many arrays, written exactly once.
+
+    Create with :meth:`create` (sized up front), fill with :meth:`add`,
+    and :meth:`close` when the run is over.  The creating process owns the
+    segment and is the only one allowed to unlink it; a process-exit hook
+    closes any store the caller forgot.
+    """
+
+    def __init__(self, segment):
+        self._segment = segment
+        self._cursor = 0
+        self._closed = False
+        self.name = segment.name
+        _LIVE_STORES.add(self)
+
+    @classmethod
+    def create(cls, nbytes: int) -> "SharedArrayStore":
+        if _shared_memory is None:
+            raise OSError("multiprocessing.shared_memory is unavailable")
+        segment = _shared_memory.SharedMemory(create=True, size=max(int(nbytes), 1))
+        return cls(segment)
+
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        return self._segment.size
+
+    @property
+    def used(self) -> int:
+        return self._cursor
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @staticmethod
+    def required_nbytes(arrays: Sequence[np.ndarray]) -> int:
+        """Segment size needed to :meth:`add` these arrays in order."""
+        total = 0
+        for array in arrays:
+            total = _align(total) + int(array.nbytes)
+        return total
+
+    # ------------------------------------------------------------------
+    def add(self, array: np.ndarray) -> ArrayHandle:
+        """Copy ``array`` into the segment; the handle keeps the original.
+
+        Writes through a scoped memoryview rather than a numpy view so no
+        buffer export outlives the call (which would block ``close``).
+        """
+        if self._closed:
+            raise ValueError("store is closed")
+        array = np.ascontiguousarray(array)
+        offset = _align(self._cursor)
+        end = offset + array.nbytes
+        if end > self._segment.size:
+            raise ValueError(
+                f"store overflow: need {end} bytes, segment holds {self._segment.size}"
+            )
+        self._segment.buf[offset:end] = array.tobytes()
+        self._cursor = end
+        return ArrayHandle(self.name, array.shape, array.dtype, offset, array=array)
+
+    def close(self) -> None:
+        """Close and unlink the segment (idempotent).
+
+        Existing attachments in live workers stay valid — POSIX shared
+        memory survives unlink while mapped — but no new process can
+        attach afterwards.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._segment.close()
+        except (BufferError, OSError):
+            pass
+        try:
+            self._segment.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+    def __enter__(self) -> "SharedArrayStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"SharedArrayStore(name={self.name!r}, used={self.used}, "
+                f"nbytes={self.nbytes}, closed={self._closed})")
+
+
+@atexit.register
+def _close_live_stores() -> None:
+    for store in list(_LIVE_STORES):
+        store.close()
+
+
+# ----------------------------------------------------------------------
+# Client registration
+# ----------------------------------------------------------------------
+def share_client_splits(clients: Sequence) -> Optional[SharedArrayStore]:
+    """Move every client's ``DataSplit``\\ s into one shared segment, in place.
+
+    Returns the owning store, or ``None`` — leaving the clients untouched —
+    when there is nothing to share or shared memory cannot be created here
+    (no ``/dev/shm``, sandboxed ``shm_open``, stripped build).  Splits that
+    are already handles are skipped, so registration is idempotent.
+    """
+    pending: List[Tuple[object, str, DataSplit]] = []
+    for client in clients:
+        for attr in ("train", "test", "unlabeled"):
+            split = getattr(client, attr, None)
+            if isinstance(split, DataSplit) and len(split) > 0:
+                pending.append((client, attr, split))
+    if not pending:
+        return None
+    arrays: List[np.ndarray] = []
+    for _, _, split in pending:
+        arrays.extend((split.images, split.labels))
+    try:
+        store = SharedArrayStore.create(SharedArrayStore.required_nbytes(arrays))
+    except (OSError, PermissionError, ValueError):
+        return None
+    for client, attr, split in pending:
+        setattr(client, attr, split.to_handle(store))
+    return store
+
+
+def unshare_client_splits(store: SharedArrayStore, clients: Sequence) -> None:
+    """Undo :func:`share_client_splits` for ``store``, in place.
+
+    Rebuilds plain ``DataSplit``\\ s from the owner-side arrays the handles
+    retain (no copy — the originals were never dropped).  The owning
+    backend calls this before closing the store so the clients can later
+    be registered with a fresh backend, instead of carrying handles that
+    name an unlinked segment — which would poison any subsequent
+    process-backend run over the same clients.
+    """
+    for client in clients:
+        for attr in ("train", "test", "unlabeled"):
+            split = getattr(client, attr, None)
+            if not isinstance(split, DataSplitHandle):
+                continue
+            if split.images_handle.name != store.name:
+                continue  # owned by some other (possibly still live) store
+            images = split.images_handle._array
+            labels = split.labels_handle._array
+            if images is None or labels is None:
+                continue  # a worker-side replica; nothing to restore from
+            setattr(client, attr, DataSplit(images, labels))

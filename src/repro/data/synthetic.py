@@ -67,6 +67,22 @@ class DataSplit:
         labeled = self.labels[self.labels >= 0]
         return int(labeled.max()) + 1 if labeled.size else 0
 
+    @property
+    def nbytes(self) -> int:
+        return int(self.images.nbytes) + int(self.labels.nbytes)
+
+    def to_handle(self, store):
+        """Register both arrays with a :class:`~repro.data.shm.SharedArrayStore`
+        and return the shared-memory :class:`~repro.data.shm.DataSplitHandle`
+        (the inverse of ``DataSplitHandle.materialize``)."""
+        from .shm import DataSplitHandle
+
+        return DataSplitHandle(store.add(self.images), store.add(self.labels))
+
+    def materialize(self) -> "DataSplit":
+        """Already in-process; mirrors ``DataSplitHandle.materialize``."""
+        return self
+
 
 def _smooth_field(rng: np.random.Generator, channels: int, size: int, sigma: float) -> np.ndarray:
     """A unit-variance smooth random field with CIFAR-like autocorrelation."""

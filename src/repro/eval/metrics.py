@@ -65,8 +65,11 @@ def fairness_report(accuracies: Sequence[float]) -> FairnessReport:
     vector = _as_vector(accuracies)
     sorted_acc = np.sort(vector)
     decile = max(1, int(np.ceil(vector.size * 0.1)))
+    # Pairwise summation can put the mean an ulp outside [min, max] (e.g.
+    # three identical accuracies); clamp so min <= mean <= max holds exactly.
+    mean = min(max(float(vector.mean()), float(vector.min())), float(vector.max()))
     return FairnessReport(
-        mean=float(vector.mean()),
+        mean=mean,
         variance=float(vector.var()),
         std=float(vector.std()),
         minimum=float(vector.min()),

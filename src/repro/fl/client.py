@@ -50,7 +50,13 @@ class ClientData:
 
     def ssl_pool(self) -> DataSplit:
         """Images available for self-supervised training: the labeled local
-        training images plus any unlabeled shard (labels are unused)."""
+        training images plus any unlabeled shard (labels are unused).
+
+        Handle-aware: when the shared-memory data plane is active the
+        splits are :class:`~repro.data.shm.DataSplitHandle`\\ s, whose
+        ``images``/``labels`` resolve to read-only views over the shared
+        segment — the pool is assembled from those views without copying
+        the underlying dataset back into the client."""
         if self.unlabeled is None or len(self.unlabeled) == 0:
             return self.train
         images = np.concatenate([self.train.images, self.unlabeled.images])
@@ -70,15 +76,29 @@ def derive_rng(seed: int, *streams: int) -> np.random.Generator:
     return np.random.default_rng([seed] + [int(s) + 1 for s in streams])
 
 
-def payload_nbytes(client: "ClientData") -> int:
+def payload_nbytes(client: "ClientData", inline: bool = False) -> int:
     """Pickled size of one client payload as shipped to a process worker.
+
+    With the shared-memory data plane active the client's splits pickle as
+    lightweight handles, so this measures the actual wire cost — O(model +
+    store), not O(dataset).  ``inline=True`` instead measures what the
+    payload would cost with every array pickled inline (the pre-plane wire
+    size); benchmarks report both to show the plane's payload reduction.
 
     Raises the underlying pickling error for unpicklable ``store`` entries,
     which is the same condition that makes the process backend fall back to
     serial — so tests and benchmarks can assert the contract directly.
     """
+    import copy
     import pickle
 
+    if inline:
+        replica = copy.copy(client)
+        for attr in ("train", "test", "unlabeled"):
+            split = getattr(replica, attr)
+            if split is not None and hasattr(split, "materialize"):
+                setattr(replica, attr, split.materialize())
+        client = replica
     return len(pickle.dumps(client, protocol=pickle.HIGHEST_PROTOCOL))
 
 

@@ -22,6 +22,14 @@ class FederatedConfig:
     ``"process"``, with ``workers=None`` meaning "all available cores".
     Backends are bitwise-deterministic, so these knobs change wall-clock
     time, never results.
+
+    ``shared_memory`` controls the zero-copy client-data plane
+    (:mod:`repro.data.shm`), which only the process backend uses:
+    ``None`` (default) enables it automatically for the process backend,
+    falling back silently to inline pickling when shared memory is
+    unavailable; ``True`` requests it and warns when it cannot activate;
+    ``False`` disables it.  Like the backend knobs it never changes
+    results — workers read the same bytes either way.
     """
 
     num_clients: int = 20
@@ -40,6 +48,7 @@ class FederatedConfig:
     seed: int = 0
     backend: str = "serial"
     workers: Optional[int] = None
+    shared_memory: Optional[bool] = None
 
     def __post_init__(self):
         if self.num_clients < 1:
@@ -66,6 +75,14 @@ class FederatedConfig:
                 f"available: {available_backends()}"
             )
         resolve_workers(self.workers)  # raises on non-positive / non-int values
+        # Identity checks, not equality: the server dispatches on
+        # ``is True`` / ``is not False``, so 0/1 must be rejected here
+        # rather than behave differently from False/True downstream.
+        if self.shared_memory is not None and not isinstance(self.shared_memory, bool):
+            raise ValueError(
+                f"shared_memory must be None (auto), True, or False, "
+                f"got {self.shared_memory!r}"
+            )
 
     def with_overrides(self, **kwargs) -> "FederatedConfig":
         """Return a copy with fields replaced."""

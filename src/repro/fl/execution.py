@@ -142,6 +142,16 @@ class ExecutionBackend:
         """Apply ``task`` to each item, returning results in input order."""
         raise NotImplementedError
 
+    def register_clients(self, clients: Sequence) -> bool:
+        """Opt the clients into this backend's data plane; True when active.
+
+        The base implementation is a no-op: serial and thread backends
+        share the coordinator's address space already, so there is nothing
+        to gain from a shared-memory store.  Only :class:`ProcessBackend`
+        overrides this.
+        """
+        return False
+
     def close(self) -> None:
         """Release pools; the backend may be reused (pools are lazily rebuilt)."""
 
@@ -217,6 +227,13 @@ class ProcessBackend(ExecutionBackend):
     must be picklable; ``eval.harness.EncoderSpec`` exists for exactly
     this reason.  The pool is created lazily and kept alive across rounds
     to amortize worker start-up.
+
+    ``register_clients`` activates the shared-memory data plane
+    (:mod:`repro.data.shm`): client datasets move into a
+    :class:`~repro.data.shm.SharedArrayStore` this backend owns, so each
+    per-round pickle ships lightweight handles instead of image arrays.
+    The store is released on :meth:`close` (and, as a backstop, at process
+    exit by the shm module's atexit hook).
     """
 
     name = "process"
@@ -229,6 +246,7 @@ class ProcessBackend(ExecutionBackend):
         self._pool = None
         self._broken = False
         self._broken_cause: Optional[BaseException] = None
+        self._stores: List = []
 
     # ------------------------------------------------------------------
     def _ensure_pool(self):
@@ -242,10 +260,32 @@ class ProcessBackend(ExecutionBackend):
                                              mp_context=context)
         return self._pool
 
+    def register_clients(self, clients: Sequence) -> bool:
+        """Move client datasets into a shared-memory store owned by this
+        backend.  Returns True when the plane is active; False (with the
+        clients untouched) when shared memory is unavailable here, which
+        leaves the classic inline-pickle path in effect.  ``close``
+        restores the clients' plain splits before unlinking, so the same
+        clients can be registered again with a future backend."""
+        from ..data.shm import share_client_splits
+
+        store = share_client_splits(clients)
+        if store is None:
+            return False
+        self._stores.append((store, list(clients)))
+        return True
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
+        if self._stores:
+            from ..data.shm import unshare_client_splits
+
+            while self._stores:
+                store, clients = self._stores.pop()
+                unshare_client_splits(store, clients)
+                store.close()
 
     def _mark_broken(self, cause: BaseException) -> None:
         self._broken = True

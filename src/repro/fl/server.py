@@ -16,6 +16,7 @@ determinism contract in :mod:`repro.fl.execution`).
 from __future__ import annotations
 
 import functools
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -92,6 +93,26 @@ class FederatedServer:
         self.verbose = verbose
         self.global_state: Optional[StateDict] = None
         self.round_records: List[RoundRecord] = []
+        self._warned_non_finite = False
+        # Shared-memory client-data plane (repro.data.shm): with the knob
+        # on (or on auto), ask the backend to move client datasets into a
+        # shared store so per-round pickles ship handles, not arrays.
+        # Serial/thread backends no-op; the process backend degrades
+        # gracefully when shared memory cannot be created here.
+        self.shared_memory_active = False
+        if config.shared_memory is not False:
+            self.shared_memory_active = self.backend.register_clients(
+                self.clients + self.novel_clients
+            )
+            if config.shared_memory is True and not self.shared_memory_active:
+                warnings.warn(
+                    "shared_memory=True requested but the shared-memory data "
+                    "plane could not activate (backend without a data plane, "
+                    "or shared memory unavailable); falling back to inline "
+                    "client pickling",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
     # ------------------------------------------------------------------
     def _dispatch(self, task, clients: Sequence[ClientData]) -> List[_ClientOutcome]:
@@ -120,14 +141,34 @@ class FederatedServer:
             self.global_state = self.algorithm.aggregate(
                 updates, self.global_state, round_index
             )
-            losses = [
-                u.metrics["loss"] for u in updates
-                if np.isfinite(u.metrics.get("loss", float("nan")))
-            ]
+            # Non-finite client losses (divergence, dead activations) are
+            # excluded from the mean but never silently: they are counted
+            # into the round record and warned about once per run.
+            losses: List[float] = []
+            non_finite = 0
+            for update in updates:
+                value = update.metrics.get("loss")
+                if value is None:
+                    continue
+                if np.isfinite(value):
+                    losses.append(float(value))
+                else:
+                    non_finite += 1
+            if non_finite and not self._warned_non_finite:
+                self._warned_non_finite = True
+                warnings.warn(
+                    f"round {round_index}: {non_finite} client(s) reported a "
+                    "non-finite training loss; they are excluded from "
+                    "mean_loss and counted in RoundRecord.metrics"
+                    "['non_finite_losses']",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             record = RoundRecord(
                 round_index=round_index,
                 participant_ids=[u.client_id for u in updates],
                 mean_loss=float(np.mean(losses)) if losses else float("nan"),
+                metrics={"non_finite_losses": float(non_finite)},
             )
             self.round_records.append(record)
             if self.verbose:

@@ -88,7 +88,11 @@ class TestEveryMethodRuns:
                                   "script-fair"])
 class TestKeyMethodsLearn:
     def test_clearly_above_chance(self, name):
-        result = run_method(name, config=tiny_config(rounds=3, local_epochs=2))
+        # 4 rounds x 3 local epochs: enough for the SSL methods to clear
+        # the bar with margin now that RandomSampler draws participants
+        # purely from (seed, round_index) — the old stateful draw happened
+        # to sample a friendlier sequence at 3x2.
+        result = run_method(name, config=tiny_config(rounds=4, local_epochs=3))
         assert result.mean_accuracy > 0.3, (
             f"{name} mean accuracy {result.mean_accuracy:.3f} too low"
         )

@@ -97,6 +97,44 @@ class TestQuantityLabel:
         assert np.all(classes_per_client(matrix) == min(classes_per, 6))
         assert all(len(p) == 12 for p in parts)
 
+    def test_quota_met_under_forced_recycling(self):
+        # 4 samples per class, but every client demands 10 from one class:
+        # each draw must recycle the class pool multiple times.  The old
+        # single-recycle draw() silently returned fewer samples here.
+        labels = balanced_labels(num_classes=4, per_class=4)
+        parts = partition_quantity_label(labels, 6, 1, samples_per_client=10,
+                                         rng=np.random.default_rng(7))
+        assert all(len(p) == 10 for p in parts)
+        for part in parts:
+            assert len(np.unique(labels[part])) == 1
+
+    @given(
+        num_clients=st.integers(min_value=2, max_value=10),
+        classes_per=st.integers(min_value=1, max_value=3),
+        samples=st.integers(min_value=4, max_value=40),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_quota_exact_with_tiny_classes(self, num_clients, classes_per,
+                                                    samples):
+        # Only 3 samples per class against demands of up to 40: recycling is
+        # forced on essentially every draw, and the quota must still be met
+        # exactly — never fewer than samples_per_client indices per client.
+        labels = balanced_labels(num_classes=3, per_class=3, seed=8)
+        parts = partition_quantity_label(labels, num_clients, classes_per,
+                                         samples_per_client=samples,
+                                         rng=np.random.default_rng(9))
+        assert all(len(p) == samples for p in parts)
+
+    def test_empty_class_pool_raises(self):
+        # Class id 1 exists nominally (labels.max() == 2) but has no
+        # samples.  With 3 clients x 1 class each, the slot pool covers all
+        # 3 classes, so class 1 is always assigned to someone — and the
+        # draw must fail loudly, not hand that client an empty partition.
+        labels = np.array([0, 0, 0, 0, 2, 2, 2, 2])
+        with pytest.raises(ValueError, match="class 1"):
+            partition_quantity_label(labels, 3, 1, samples_per_client=4,
+                                     rng=np.random.default_rng(0))
+
 
 class TestDirichlet:
     def test_sizes(self):
@@ -133,6 +171,18 @@ class TestDirichlet:
         parts = partition_dirichlet(labels, 8, 0.3, samples_per_client=15,
                                     rng=np.random.default_rng(seed))
         assert all(len(p) > 0 for p in parts)
+
+    @given(seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_property_quota_met_under_forced_recycling(self, seed):
+        # 5 samples per class vs 25 demanded per client: heavily skewed
+        # Dirichlet draws (concentration 0.1) concentrate demand on one
+        # class, forcing multiple pool recycles per draw.  Every client
+        # must still receive at least its full quota.
+        labels = balanced_labels(num_classes=4, per_class=5, seed=seed)
+        parts = partition_dirichlet(labels, 6, 0.1, samples_per_client=25,
+                                    rng=np.random.default_rng(seed))
+        assert all(len(p) >= 25 for p in parts)
 
 
 class TestStratifiedSplit:

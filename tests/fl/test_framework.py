@@ -133,6 +133,27 @@ class TestSamplers:
         ids_b = [c.client_id for c in RandomSampler(3, seed=5).sample(clients, 0)]
         assert ids_a == ids_b
 
+    def test_random_sampler_pure_in_round_index(self):
+        # The determinism contract (repro.fl.execution): the participant
+        # set is a function of (seed, round_index), never of call order.
+        clients = self.make_clients()
+
+        def ids(sampler, round_index):
+            return [c.client_id for c in sampler.sample(clients, round_index)]
+
+        forward = RandomSampler(3, seed=7)
+        shuffled = RandomSampler(3, seed=7)
+        by_round = {r: ids(forward, r) for r in range(4)}
+        for round_index in (2, 0, 3, 1, 2):  # out of order, with a repeat
+            assert ids(shuffled, round_index) == by_round[round_index]
+
+    def test_random_sampler_varies_across_rounds(self):
+        clients = self.make_clients()
+        sampler = RandomSampler(3, seed=0)
+        draws = {tuple(c.client_id for c in sampler.sample(clients, r))
+                 for r in range(8)}
+        assert len(draws) > 1
+
     def test_random_sampler_validates(self):
         with pytest.raises(ValueError):
             RandomSampler(0)

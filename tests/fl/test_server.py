@@ -107,6 +107,40 @@ class TestServerLoop:
         server.train()
         assert [cid for _, cid in algorithm.local_updates] == [0, 1, 2, 3]
 
+    def test_non_finite_losses_surfaced_not_swallowed(self):
+        import warnings
+
+        class DivergingAlgorithm(CountingAlgorithm):
+            def local_update(self, client, global_state, round_index):
+                update = super().local_update(client, global_state, round_index)
+                if client.client_id == 0:
+                    update.metrics["loss"] = float("nan")
+                return update
+
+        config = FederatedConfig(num_clients=4, clients_per_round=4, rounds=2, seed=0)
+        server = FederatedServer(DivergingAlgorithm(config), make_clients(4), config)
+        with pytest.warns(RuntimeWarning, match="non-finite"):
+            server.train()
+        for record in server.round_records:
+            assert record.metrics["non_finite_losses"] == 1
+            assert record.mean_loss == pytest.approx(1.0)  # finite clients only
+        # The warning fires once per run, not once per round.
+        server2 = FederatedServer(DivergingAlgorithm(config), make_clients(4), config)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            server2.train()
+        assert sum("non-finite" in str(w.message) for w in caught) == 1
+
+    def test_all_finite_losses_leave_no_warning(self):
+        import warnings
+
+        config = FederatedConfig(num_clients=4, clients_per_round=2, rounds=2, seed=0)
+        server = FederatedServer(CountingAlgorithm(config), make_clients(4), config)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            server.train()
+        assert all(r.metrics["non_finite_losses"] == 0 for r in server.round_records)
+
     def test_novel_clients_not_trained(self):
         config = FederatedConfig(num_clients=4, clients_per_round=4, rounds=2, seed=0)
         algorithm = CountingAlgorithm(config)
