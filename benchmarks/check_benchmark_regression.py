@@ -1,0 +1,155 @@
+"""Calibrated benchmark-regression gate over pytest-benchmark timings.
+
+Raw seconds are meaningless across heterogeneous CI runners, so timings
+are *calibrated*: this script times a fixed numpy reference workload (the
+same kind of kernels the substrate spends its time in — matmul,
+elementwise transcendentals, reductions) on the same machine, in the same
+process environment, and expresses every benchmark as a dimensionless
+ratio ``benchmark_mean / calibration_seconds``.  Those normalized ratios
+are comparable across machines, so a threshold file checked into the repo
+can gate regressions: a benchmark fails when its ratio exceeds the stored
+ceiling (measured ratio x headroom at the time thresholds were updated).
+
+Workflow::
+
+    python -m pytest benchmarks/bench_substrate_throughput.py -q \
+        --benchmark-only --benchmark-json bench-timings.json
+    python benchmarks/check_benchmark_regression.py \
+        --bench-json bench-timings.json --out bench-normalized.json
+
+Regenerate ceilings after an intentional perf change::
+
+    python benchmarks/check_benchmark_regression.py \
+        --bench-json bench-timings.json --update
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+DEFAULT_THRESHOLDS = Path(__file__).resolve().parent / "benchmark_thresholds.json"
+DEFAULT_HEADROOM = 4.0
+
+
+def calibration_seconds(repeats: int = 5) -> float:
+    """Time the fixed reference workload; min-of-N rejects scheduler noise."""
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((192, 192))
+    b = rng.standard_normal((192, 192))
+    c = rng.standard_normal((64, 4096))
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(8):
+            d = a @ b
+            e = np.exp(c * 0.25)
+            f = np.maximum(d, 0.0).sum() + np.log1p(e).sum()
+            g = np.sort(c, axis=1)
+            h = (g[:, :64] @ g[:, :64].T).std()
+            float(f + h)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def load_benchmarks(path: Path):
+    with open(path) as stream:
+        payload = json.load(stream)
+    rows = {}
+    for bench in payload.get("benchmarks", []):
+        rows[bench["name"]] = float(bench["stats"]["mean"])
+    if not rows:
+        raise SystemExit(f"no benchmarks found in {path}")
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate pytest-benchmark timings against calibrated ceilings")
+    parser.add_argument("--bench-json", required=True, metavar="PATH",
+                        help="pytest-benchmark --benchmark-json output")
+    parser.add_argument("--thresholds", default=str(DEFAULT_THRESHOLDS),
+                        metavar="PATH", help="ceiling file (checked in)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the normalized rows as JSON (CI artifact)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the threshold file from this run "
+                             "(measured ratio x headroom) instead of gating")
+    parser.add_argument("--headroom", type=float, default=None,
+                        help=f"headroom factor for --update "
+                             f"(default: keep the file's, or {DEFAULT_HEADROOM})")
+    args = parser.parse_args(argv)
+
+    benchmarks = load_benchmarks(Path(args.bench_json))
+    calibration = calibration_seconds()
+    normalized = {name: mean / calibration for name, mean in benchmarks.items()}
+    print(f"calibration workload: {calibration * 1e3:.2f} ms on this machine")
+
+    thresholds_path = Path(args.thresholds)
+    stored = {}
+    headroom = args.headroom
+    if thresholds_path.is_file():
+        with open(thresholds_path) as stream:
+            stored = json.load(stream)
+        if headroom is None:
+            headroom = stored.get("headroom", DEFAULT_HEADROOM)
+    elif headroom is None:
+        headroom = DEFAULT_HEADROOM
+
+    if args.out:
+        with open(args.out, "w") as stream:
+            json.dump({
+                "calibration_seconds": calibration,
+                "mean_seconds": benchmarks,
+                "normalized": normalized,
+            }, stream, indent=2, sort_keys=True)
+        print(f"wrote {args.out}")
+
+    if args.update:
+        payload = {
+            "headroom": headroom,
+            "note": "ceilings = measured normalized ratio x headroom; "
+                    "regenerate with check_benchmark_regression.py --update",
+            "max_normalized": {name: round(ratio * headroom, 3)
+                               for name, ratio in sorted(normalized.items())},
+        }
+        with open(thresholds_path, "w") as stream:
+            json.dump(payload, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(f"updated {thresholds_path} ({len(normalized)} ceilings, "
+              f"headroom {headroom}x)")
+        return 0
+
+    ceilings = stored.get("max_normalized", {})
+    if not ceilings:
+        print(f"note: no ceilings in {thresholds_path}; run with --update first")
+        return 0
+    status = 0
+    width = max(len(name) for name in normalized)
+    print(f"{'benchmark':<{width}}  {'normalized':>10}  {'ceiling':>8}  verdict")
+    for name, ratio in sorted(normalized.items()):
+        ceiling = ceilings.get(name)
+        if ceiling is None:
+            print(f"{name:<{width}}  {ratio:>10.3f}  {'(new)':>8}  SKIP "
+                  f"(not in thresholds; rerun --update to gate it)")
+            continue
+        verdict = "ok" if ratio <= ceiling else "REGRESSION"
+        if ratio > ceiling:
+            status = 1
+        print(f"{name:<{width}}  {ratio:>10.3f}  {ceiling:>8.3f}  {verdict}")
+    missing = sorted(set(ceilings) - set(normalized))
+    if missing:
+        print(f"note: thresholds list benchmarks not in this run: {missing}")
+    if status:
+        print("FAIL: benchmark regression beyond calibrated ceiling",
+              file=sys.stderr)
+    else:
+        print("OK: all benchmarks within calibrated ceilings")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,12 +21,19 @@ Regenerate a paper panel::
     python -m repro.cli fig3 --panel 0
     python -m repro.cli fig4 --panel 1
     python -m repro.cli table1
+
+Run a paper artifact as a persistent, resumable sweep, then regenerate
+its table from the store alone (no retraining)::
+
+    python -m repro.cli sweep --exp table1 --runs-dir runs/table1 --seeds 0 1 2
+    python -m repro.cli report --exp table1 --runs-dir runs/table1 --seeds 0 1 2
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
 from .eval import (
@@ -37,18 +44,54 @@ from .eval import (
     format_series_csv,
     run_experiment,
 )
-from .fl.execution import available_backends
 from .experiments import (
     FIG3_PANELS,
     FIG4_PANELS,
+    TABLE1_SETTING,
+    TABLE1_VARIANTS,
+    fig3_sweep,
+    fig4_sweep,
     run_fig3_panel,
     run_fig4_panel,
     run_table1,
+    table1_rows_from_records,
+    table1_sweep,
     scaled_spec,
 )
 from .experiments.settings import SCALED_CONFIG
+from .fl.execution import available_backends
+from .runs import RunStore, outcome_from_records, run_sweep, save_outcome
 
 __all__ = ["main", "build_parser"]
+
+SWEEP_EXPERIMENTS = ("table1", "fig3", "fig4")
+
+
+def _add_sweep_grid_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags that *define* a sweep grid — shared by ``sweep`` and ``report``.
+
+    ``report`` rebuilds the same grid to know which content-hashed cells
+    to read, so any flag here that changes results must be given
+    identically to both commands.
+    """
+    parser.add_argument("--exp", required=True, choices=SWEEP_EXPERIMENTS,
+                        help="which paper artifact's grid to use")
+    parser.add_argument("--panel", type=int, default=0,
+                        help="panel index for fig3 (0-3) / fig4 (0-1)")
+    parser.add_argument("--runs-dir", required=True, metavar="DIR",
+                        help="run-store directory (created on demand)")
+    parser.add_argument("--seeds", type=int, nargs="+", default=[0],
+                        help="seed axis of the grid (default: 0)")
+    parser.add_argument("--methods", nargs="*", default=None,
+                        help="method subset (default: the artifact's full list)")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="override config rounds (changes cell hashes)")
+    parser.add_argument("--clients", type=int, default=None,
+                        help="override config num_clients (changes cell hashes)")
+    parser.add_argument("--samples", type=int, default=None,
+                        help="override samples per client (changes cell hashes)")
+    parser.add_argument("--novel", type=int, default=6,
+                        help="novel clients per cell (fig4 only)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -88,6 +131,9 @@ def build_parser() -> argparse.ArgumentParser:
                                  "activate, 'off' pickles datasets inline")
     run_parser.add_argument("--csv", action="store_true",
                             help="also print the CSV series")
+    run_parser.add_argument("--out", default=None, metavar="PATH",
+                            help="persist the full ExperimentOutcome as JSON "
+                                 "(same serializer as the sweep run store)")
 
     fig3_parser = sub.add_parser("fig3", help="regenerate one Fig. 3 panel")
     fig3_parser.add_argument("--panel", type=int, default=0,
@@ -105,6 +151,36 @@ def build_parser() -> argparse.ArgumentParser:
     table1_parser = sub.add_parser("table1", help="regenerate Table I")
     table1_parser.add_argument("--seed", type=int, default=0)
 
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="run a paper artifact as a persistent, resumable sweep",
+        description="Expand an artifact's grid into content-hashed cells, "
+                    "skip the ones already in the run store, and dispatch "
+                    "the rest; a killed sweep resumes instead of restarting.")
+    _add_sweep_grid_arguments(sweep_parser)
+    sweep_parser.add_argument("--scheduler", default="serial",
+                              choices=available_backends(),
+                              help="experiment-level execution backend; cell "
+                                   "results are identical across schedulers "
+                                   "(default: serial)")
+    sweep_parser.add_argument("--jobs", type=int, default=None,
+                              help="concurrent cells for parallel schedulers "
+                                   "(default: all cores)")
+    sweep_parser.add_argument("--max-cells", type=int, default=None,
+                              help="execute at most N pending cells this pass "
+                                   "(budgeted/smoke runs); the rest defer")
+    sweep_parser.add_argument("--quiet", action="store_true",
+                              help="suppress per-cell progress lines")
+
+    report_parser = sub.add_parser(
+        "report",
+        help="regenerate an artifact's tables from the run store (no retraining)",
+        description="Rebuild the same grid as 'repro sweep' and render its "
+                    "tables purely from stored cell records.")
+    _add_sweep_grid_arguments(report_parser)
+    report_parser.add_argument("--csv", action="store_true",
+                               help="also print the CSV series (fig3/fig4)")
+
     return parser
 
 
@@ -121,6 +197,9 @@ def _command_list() -> int:
     print("\nfig4 panels:")
     for index, (dataset, label, setting) in enumerate(FIG4_PANELS):
         print(f"  {index}: {dataset} paper:{label} scaled:{setting.label()}")
+    print("\nsweep experiments (repro sweep/report --exp ...):")
+    for name in SWEEP_EXPERIMENTS:
+        print(f"  {name}")
     return 0
 
 
@@ -152,6 +231,130 @@ def _command_run(args) -> int:
     if args.csv:
         print()
         print(format_series_csv(outcome))
+    if args.out:
+        path = save_outcome(outcome, args.out)
+        print(f"\nwrote {path}")
+    return 0
+
+
+def _build_sweep(args):
+    """Build the (deterministic) sweep grid described by CLI flags."""
+    if args.methods:
+        unknown = [m for m in args.methods if m not in available_methods()]
+        if unknown:
+            raise SystemExit(f"unknown methods: {unknown}")
+    overrides = {}
+    if args.rounds is not None:
+        overrides["rounds"] = args.rounds
+    if args.clients is not None:
+        overrides["num_clients"] = args.clients
+        overrides["clients_per_round"] = min(SCALED_CONFIG.clients_per_round,
+                                             args.clients)
+    config = SCALED_CONFIG.with_overrides(**overrides) if overrides else None
+
+    if args.exp == "table1":
+        setting = TABLE1_SETTING
+        if args.samples is not None:
+            setting = replace(setting, samples_per_client=args.samples)
+        return table1_sweep(variants=args.methods or TABLE1_VARIANTS,
+                            seeds=args.seeds, setting=setting, config=config)
+    try:
+        if args.exp == "fig3":
+            sweep = fig3_sweep(args.panel, methods=args.methods, seeds=args.seeds,
+                               config=config, samples_per_client=args.samples)
+        else:
+            sweep = fig4_sweep(args.panel, methods=args.methods, seeds=args.seeds,
+                               num_novel_clients=args.novel, config=config,
+                               samples_per_client=args.samples)
+    except IndexError as error:
+        raise SystemExit(f"--panel: {error}")
+    return sweep
+
+
+def _grid_flags(args) -> str:
+    """Echo the grid-defining flags so a hinted ``repro report`` command
+    rebuilds exactly the swept grid (fingerprints must match the store)."""
+    parts = [f"--exp {args.exp}", f"--runs-dir {args.runs_dir}"]
+    if args.exp != "table1":
+        parts.append(f"--panel {args.panel}")
+    if args.seeds != [0]:
+        parts.append("--seeds " + " ".join(str(seed) for seed in args.seeds))
+    if args.methods:
+        parts.append("--methods " + " ".join(args.methods))
+    if args.rounds is not None:
+        parts.append(f"--rounds {args.rounds}")
+    if args.clients is not None:
+        parts.append(f"--clients {args.clients}")
+    if args.samples is not None:
+        parts.append(f"--samples {args.samples}")
+    if args.exp == "fig4" and args.novel != 6:
+        parts.append(f"--novel {args.novel}")
+    return " ".join(parts)
+
+
+def _command_sweep(args) -> int:
+    sweep = _build_sweep(args)
+    store = RunStore(args.runs_dir)
+    summary = run_sweep(sweep, store=store, backend=args.scheduler,
+                        workers=args.jobs, max_cells=args.max_cells,
+                        verbose=not args.quiet)
+    print(summary.describe())
+    print(f"store: {store.root} ({len(store)} cells)")
+    if summary.complete:
+        print(f"complete — regenerate tables anytime with: "
+              f"repro report {_grid_flags(args)}")
+    return 0
+
+
+def _report_title(base: str, seed: int, many_seeds: bool) -> str:
+    return f"{base} [seed {seed}]" if many_seeds else base
+
+
+def _command_report(args) -> int:
+    sweep = _build_sweep(args)
+    try:
+        store = RunStore(args.runs_dir, create=False)
+    except FileNotFoundError as error:
+        print(error, file=sys.stderr)
+        return 1
+    cells = sweep.cells()
+    missing = store.missing(cells)
+    if missing:
+        print(f"{len(missing)} of {len(cells)} cells missing from {store.root}; "
+              f"finish the sweep first:", file=sys.stderr)
+        for key in missing[:10]:
+            print(f"  {key.fingerprint}  {key.label()}", file=sys.stderr)
+        if len(missing) > 10:
+            print(f"  ... and {len(missing) - 10} more", file=sys.stderr)
+        return 1
+    records = store.load_records(cells)
+    many_seeds = len(args.seeds) > 1
+    first = True
+    for seed in args.seeds:
+        if not first:
+            print()
+        first = False
+        if args.exp == "table1":
+            rows = table1_rows_from_records(
+                cells, records, variants=args.methods or TABLE1_VARIANTS, seed=seed)
+            print(format_ablation_table(
+                rows, title=_report_title("Table I", seed, many_seeds)))
+            continue
+        panels = FIG3_PANELS if args.exp == "fig3" else FIG4_PANELS
+        dataset, paper_label, _setting = panels[args.panel]
+        name = f"{args.exp}-panel{args.panel} {dataset} paper:{paper_label}"
+        spec = sweep.to_experiment_spec(seed=seed, name=name)
+        seed_records = [record for key, record in zip(cells, records)
+                        if key.seed == seed]
+        outcome = outcome_from_records(spec, seed_records)
+        print(format_comparison_table(
+            outcome, title=_report_title(spec.name, seed, many_seeds)))
+        if outcome.novel_reports:
+            print(format_comparison_table(
+                outcome, novel=True,
+                title=_report_title(spec.name + " [novel]", seed, many_seeds)))
+        if args.csv:
+            print(format_series_csv(outcome))
     return 0
 
 
@@ -173,6 +376,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         rows = run_table1(seed=args.seed)
         print(format_ablation_table(rows))
         return 0
+    if args.command == "sweep":
+        return _command_sweep(args)
+    if args.command == "report":
+        return _command_report(args)
     return 2  # unreachable given required=True
 
 

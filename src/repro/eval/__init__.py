@@ -12,7 +12,12 @@ from .harness import (
 )
 from .metrics import FairnessReport, accuracy_variance, fairness_report, mean_accuracy
 from .registry import METHOD_BUILDERS, available_methods, build_method
-from .reporting import format_ablation_table, format_comparison_table, format_series_csv
+from .reporting import (
+    format_ablation_table,
+    format_comparison_table,
+    format_report_table,
+    format_series_csv,
+)
 
 __all__ = [
     "NonIIDSetting",
@@ -31,6 +36,7 @@ __all__ = [
     "available_methods",
     "build_method",
     "format_comparison_table",
+    "format_report_table",
     "format_ablation_table",
     "format_series_csv",
 ]

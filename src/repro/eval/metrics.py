@@ -60,6 +60,20 @@ class FairnessReport:
             "num_clients": self.num_clients,
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, float]) -> "FairnessReport":
+        """Inverse of :meth:`as_dict` (run-store records round-trip through it)."""
+        return cls(
+            mean=float(payload["mean"]),
+            variance=float(payload["variance"]),
+            std=float(payload["std"]),
+            minimum=float(payload["min"]),
+            maximum=float(payload["max"]),
+            fairness_gap=float(payload["fairness_gap"]),
+            worst_decile_mean=float(payload["worst_decile_mean"]),
+            num_clients=int(payload["num_clients"]),
+        )
+
 
 def fairness_report(accuracies: Sequence[float]) -> FairnessReport:
     vector = _as_vector(accuracies)

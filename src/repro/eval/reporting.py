@@ -5,8 +5,30 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from .harness import ExperimentOutcome
+from .metrics import FairnessReport
 
-__all__ = ["format_comparison_table", "format_ablation_table", "format_series_csv"]
+__all__ = ["format_comparison_table", "format_report_table", "format_ablation_table",
+           "format_series_csv"]
+
+
+def format_report_table(reports: Dict[str, FairnessReport], title: str) -> str:
+    """The comparison-table body over bare fairness reports.
+
+    This is the store-friendly core of :func:`format_comparison_table`:
+    ``repro report`` rebuilds ``reports`` from persisted run records and
+    must produce bytes identical to a live run, so both paths share this
+    renderer.
+    """
+    lines = [title,
+             f"{'method':22s} {'mean':>8s} {'variance':>10s} {'std':>8s} "
+             f"{'min':>8s} {'max':>8s}"]
+    for name in sorted(reports, key=lambda m: -reports[m].mean):
+        report = reports[name]
+        lines.append(
+            f"{name:22s} {report.mean:8.4f} {report.variance:10.5f} "
+            f"{report.std:8.4f} {report.minimum:8.4f} {report.maximum:8.4f}"
+        )
+    return "\n".join(lines)
 
 
 def format_comparison_table(outcome: ExperimentOutcome, novel: bool = False,
@@ -17,16 +39,12 @@ def format_comparison_table(outcome: ExperimentOutcome, novel: bool = False,
         f"{outcome.spec.dataset} {outcome.spec.setting.label()}"
         + (" [novel clients]" if novel else "")
     )
-    lines = [header_title,
-             f"{'method':22s} {'mean':>8s} {'variance':>10s} {'std':>8s} "
-             f"{'min':>8s} {'max':>8s}"]
-    for name in sorted(source, key=lambda m: -source[m].mean):
-        report = source[name]
-        lines.append(
-            f"{name:22s} {report.mean:8.4f} {report.variance:10.5f} "
-            f"{report.std:8.4f} {report.minimum:8.4f} {report.maximum:8.4f}"
-        )
-    return "\n".join(lines)
+    return format_report_table(source, header_title)
+
+
+def _toggle_mark(flag: bool) -> str:
+    """The 4-column on/off cell of the ablation table's L_n / L_p toggles."""
+    return "  ✓ " if flag else "    "
 
 
 def format_ablation_table(rows: Sequence[Dict], title: str = "Table I") -> str:
@@ -45,8 +63,8 @@ def format_ablation_table(rows: Sequence[Dict], title: str = "Table I") -> str:
         for variant in variants:
             mean, std = row["results"][variant]
             cells.append(f"{100 * mean:10.2f} ± {100 * std:5.2f}".rjust(24))
-        check = lambda flag: "  ✓ " if flag else "    "
-        lines.append(f"{check(row['ln'])}{check(row['lp'])}  " + "  ".join(cells))
+        lines.append(f"{_toggle_mark(row['ln'])}{_toggle_mark(row['lp'])}  "
+                     + "  ".join(cells))
     return "\n".join(lines)
 
 

@@ -2,8 +2,8 @@
 evaluation section (Figs. 1-8 and Table I)."""
 
 from .embeddings import FIGURE_METHOD_SETS, EmbeddingResult, compute_method_embeddings
-from .fig3 import FIG3_PANELS, run_fig3_panel
-from .fig4 import FIG4_PANELS, run_fig4_panel
+from .fig3 import FIG3_PANELS, fig3_sweep, run_fig3_panel
+from .fig4 import FIG4_PANELS, fig4_sweep, run_fig4_panel
 from .settings import (
     CALIBRE_OVERRIDES,
     COMPARISON_METHODS,
@@ -12,16 +12,28 @@ from .settings import (
     SCALED_DATASET_KWARGS,
     scaled_spec,
 )
-from .table1 import TABLE1_TOGGLES, TABLE1_VARIANTS, run_table1
+from .table1 import (
+    TABLE1_SETTING,
+    TABLE1_TOGGLES,
+    TABLE1_VARIANTS,
+    run_table1,
+    table1_rows_from_records,
+    table1_sweep,
+)
 
 __all__ = [
     "run_fig3_panel",
+    "fig3_sweep",
     "FIG3_PANELS",
     "run_fig4_panel",
+    "fig4_sweep",
     "FIG4_PANELS",
     "run_table1",
+    "table1_sweep",
+    "table1_rows_from_records",
     "TABLE1_VARIANTS",
     "TABLE1_TOGGLES",
+    "TABLE1_SETTING",
     "compute_method_embeddings",
     "EmbeddingResult",
     "FIGURE_METHOD_SETS",

@@ -3,19 +3,66 @@
 The paper plots ~20 methods per panel on CIFAR-10 (2, 500), CIFAR-100
 (5, 500), STL-10 (2, 46), and STL-10 (0.3, 80); the headline claims are
 that Calibre (SimCLR) attains the best mean accuracy while staying in the
-low-variance (fair) region.  :func:`run_fig3_panel` regenerates one panel's
-(method, mean, variance) series at the scaled configuration.
+low-variance (fair) region.
+
+Each panel is a sweep grid of one cell per method, declared by
+:func:`fig3_sweep` and executed/resumed through :mod:`repro.runs`;
+:func:`run_fig3_panel` reassembles the stored cells into the familiar
+:class:`~repro.eval.harness.ExperimentOutcome`.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from dataclasses import replace
+from typing import Dict, Optional, Sequence
 
-from ..eval.harness import ExperimentOutcome, run_experiment
+from ..eval.harness import ExperimentOutcome
 from ..eval.reporting import format_comparison_table, format_series_csv
-from .settings import COMPARISON_METHODS, FIG3_PANELS, scaled_spec
+from ..runs import SweepSpec, outcome_from_records, run_sweep
+from .settings import (
+    CALIBRE_OVERRIDES,
+    COMPARISON_METHODS,
+    FIG3_PANELS,
+    SCALED_CONFIG,
+    SCALED_DATASET_KWARGS,
+)
 
-__all__ = ["run_fig3_panel", "FIG3_PANELS"]
+__all__ = ["run_fig3_panel", "fig3_sweep", "FIG3_PANELS"]
+
+
+def fig3_sweep(
+    panel_index: int,
+    methods: Optional[Sequence[str]] = None,
+    seeds: Sequence[int] = (0,),
+    config=None,
+    dataset_kwargs: Optional[Dict] = None,
+    method_overrides: Optional[Dict[str, Dict]] = None,
+    samples_per_client: Optional[int] = None,
+    **spec_overrides,
+) -> SweepSpec:
+    """Declare one Fig. 3 panel's grid: one cell per method (x seed).
+
+    ``samples_per_client`` scales the panel's non-i.i.d. setting down
+    (smoke/budget grids); like every result-changing knob it changes the
+    cell fingerprints.
+    """
+    if not 0 <= panel_index < len(FIG3_PANELS):
+        raise IndexError(f"panel_index must be in [0, {len(FIG3_PANELS) - 1}]")
+    dataset, _paper_label, setting = FIG3_PANELS[panel_index]
+    if samples_per_client is not None:
+        setting = replace(setting, samples_per_client=samples_per_client)
+    return SweepSpec(
+        name=f"fig3-panel{panel_index}",
+        methods=list(methods) if methods is not None else list(COMPARISON_METHODS),
+        settings=[setting],
+        datasets=[dataset],
+        seeds=list(seeds),
+        config=config if config is not None else SCALED_CONFIG,
+        method_overrides={**CALIBRE_OVERRIDES, **(method_overrides or {})},
+        dataset_kwargs={dataset: {**SCALED_DATASET_KWARGS[dataset],
+                                  **(dataset_kwargs or {})}},
+        **spec_overrides,
+    )
 
 
 def run_fig3_panel(
@@ -23,21 +70,22 @@ def run_fig3_panel(
     methods: Optional[Sequence[str]] = None,
     seed: int = 0,
     verbose: bool = False,
+    store=None,
+    scheduler: str = "serial",
+    jobs: Optional[int] = None,
     **spec_overrides,
 ) -> ExperimentOutcome:
-    """Run one of the four Fig. 3 panels (0-3)."""
-    if not 0 <= panel_index < len(FIG3_PANELS):
-        raise IndexError(f"panel_index must be in [0, {len(FIG3_PANELS) - 1}]")
-    dataset, paper_label, setting = FIG3_PANELS[panel_index]
-    spec = scaled_spec(
-        dataset,
-        setting,
-        methods if methods is not None else COMPARISON_METHODS,
-        seed=seed,
-        name=f"fig3-panel{panel_index} {dataset} paper:{paper_label}",
-        **spec_overrides,
+    """Run one of the four Fig. 3 panels (0-3), resumably when ``store``
+    is given; the outcome is reassembled from the panel's cell records."""
+    sweep = fig3_sweep(panel_index, methods=methods, seeds=(seed,),
+                       **spec_overrides)
+    summary = run_sweep(sweep, store=store, backend=scheduler, workers=jobs,
+                        verbose=verbose)
+    dataset, paper_label, _setting = FIG3_PANELS[panel_index]
+    spec = sweep.to_experiment_spec(
+        seed=seed, name=f"fig3-panel{panel_index} {dataset} paper:{paper_label}"
     )
-    outcome = run_experiment(spec, verbose=verbose)
+    outcome = outcome_from_records(spec, summary.records)
     if verbose:
         print(format_comparison_table(outcome, title=spec.name))
         print(format_series_csv(outcome))

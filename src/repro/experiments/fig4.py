@@ -4,17 +4,65 @@ The paper's second figure evaluates 150 clients (100 training + 50 novel)
 under Dirichlet(0.3) label skew on CIFAR-10 and CIFAR-100.  The right-hand
 column is the novel-client panel: clients that never participated download
 the final global model and personalize from scratch (§V-D).
+
+Each panel is a sweep grid of one cell per method (novel clients included
+in every cell's config), declared by :func:`fig4_sweep` and
+executed/resumed through :mod:`repro.runs`.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from dataclasses import replace
+from typing import Dict, Optional, Sequence
 
-from ..eval.harness import ExperimentOutcome, run_experiment
+from ..eval.harness import ExperimentOutcome
 from ..eval.reporting import format_comparison_table
-from .settings import FIG4_PANELS, NOVEL_METHODS, SCALED_CONFIG, scaled_spec
+from ..runs import SweepSpec, outcome_from_records, run_sweep
+from .settings import (
+    CALIBRE_OVERRIDES,
+    FIG4_PANELS,
+    NOVEL_METHODS,
+    SCALED_CONFIG,
+    SCALED_DATASET_KWARGS,
+)
 
-__all__ = ["run_fig4_panel", "FIG4_PANELS"]
+__all__ = ["run_fig4_panel", "fig4_sweep", "FIG4_PANELS"]
+
+
+def fig4_sweep(
+    panel_index: int,
+    methods: Optional[Sequence[str]] = None,
+    seeds: Sequence[int] = (0,),
+    num_novel_clients: int = 6,
+    config=None,
+    dataset_kwargs: Optional[Dict] = None,
+    method_overrides: Optional[Dict[str, Dict]] = None,
+    samples_per_client: Optional[int] = None,
+    **spec_overrides,
+) -> SweepSpec:
+    """Declare one Fig. 4 panel's grid (0 = CIFAR-10, 1 = CIFAR-100).
+
+    ``samples_per_client`` scales the panel's non-i.i.d. setting down
+    (smoke/budget grids); it changes the cell fingerprints.
+    """
+    if not 0 <= panel_index < len(FIG4_PANELS):
+        raise IndexError(f"panel_index must be in [0, {len(FIG4_PANELS) - 1}]")
+    dataset, _paper_label, setting = FIG4_PANELS[panel_index]
+    if samples_per_client is not None:
+        setting = replace(setting, samples_per_client=samples_per_client)
+    base_config = config if config is not None else SCALED_CONFIG
+    return SweepSpec(
+        name=f"fig4-panel{panel_index}",
+        methods=list(methods) if methods is not None else list(NOVEL_METHODS),
+        settings=[setting],
+        datasets=[dataset],
+        seeds=list(seeds),
+        config=base_config.with_overrides(num_novel_clients=num_novel_clients),
+        method_overrides={**CALIBRE_OVERRIDES, **(method_overrides or {})},
+        dataset_kwargs={dataset: {**SCALED_DATASET_KWARGS[dataset],
+                                  **(dataset_kwargs or {})}},
+        **spec_overrides,
+    )
 
 
 def run_fig4_panel(
@@ -24,29 +72,24 @@ def run_fig4_panel(
     num_novel_clients: int = 6,
     config=None,
     verbose: bool = False,
+    store=None,
+    scheduler: str = "serial",
+    jobs: Optional[int] = None,
     **spec_overrides,
 ) -> ExperimentOutcome:
-    """Run one Fig. 4 panel (0 = CIFAR-10, 1 = CIFAR-100), novel clients
-    included — the outcome carries both the training-client and the
-    novel-client series."""
-    if not 0 <= panel_index < len(FIG4_PANELS):
-        raise IndexError(f"panel_index must be in [0, {len(FIG4_PANELS) - 1}]")
-    dataset, paper_label, setting = FIG4_PANELS[panel_index]
-    if config is None:
-        config = SCALED_CONFIG.with_overrides(seed=seed,
-                                              num_novel_clients=num_novel_clients)
-    else:
-        config = config.with_overrides(num_novel_clients=num_novel_clients)
-    spec = scaled_spec(
-        dataset,
-        setting,
-        methods if methods is not None else NOVEL_METHODS,
-        seed=seed,
-        config=config,
-        name=f"fig4-panel{panel_index} {dataset} paper:{paper_label}",
-        **spec_overrides,
+    """Run one Fig. 4 panel, novel clients included — the outcome carries
+    both the training-client and the novel-client series.  With ``store``
+    the panel is persistent and resumable."""
+    sweep = fig4_sweep(panel_index, methods=methods, seeds=(seed,),
+                       num_novel_clients=num_novel_clients, config=config,
+                       **spec_overrides)
+    summary = run_sweep(sweep, store=store, backend=scheduler, workers=jobs,
+                        verbose=verbose)
+    dataset, paper_label, _setting = FIG4_PANELS[panel_index]
+    spec = sweep.to_experiment_spec(
+        seed=seed, name=f"fig4-panel{panel_index} {dataset} paper:{paper_label}"
     )
-    outcome = run_experiment(spec, verbose=verbose)
+    outcome = outcome_from_records(spec, summary.records)
     if verbose:
         print(format_comparison_table(outcome, title=spec.name))
         if outcome.novel_reports:

@@ -7,17 +7,25 @@ L_n and L_p.  Directional findings to reproduce (§V-F):
 * for Calibre (SimCLR), each regularizer helps and both together are best;
 * for SwAV/SMoG — methods with built-in prototypes — L_n conflicts and can
   hurt, while L_p still reduces variance.
+
+The table is a 12-cell sweep grid (3 methods x 4 toggle variants), declared
+by :func:`table1_sweep` and executed/resumed through :mod:`repro.runs`;
+:func:`table1_rows_from_records` regenerates the paper's rows from stored
+cell records alone, so ``repro report`` reproduces the table with no
+retraining.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..eval.harness import NonIIDSetting, run_experiment
+from ..eval.harness import NonIIDSetting
 from ..eval.reporting import format_ablation_table
-from .settings import scaled_spec
+from ..runs import RunKey, SweepSpec, SweepVariant, run_sweep
+from .settings import SCALED_CONFIG, SCALED_DATASET_KWARGS
 
-__all__ = ["run_table1", "TABLE1_VARIANTS", "TABLE1_TOGGLES"]
+__all__ = ["run_table1", "table1_sweep", "table1_rows_from_records",
+           "TABLE1_VARIANTS", "TABLE1_TOGGLES", "TABLE1_SETTING"]
 
 TABLE1_VARIANTS = ("calibre-simclr", "calibre-swav", "calibre-smog")
 TABLE1_TOGGLES: List[Tuple[bool, bool]] = [
@@ -26,6 +34,67 @@ TABLE1_TOGGLES: List[Tuple[bool, bool]] = [
     (False, True),
     (True, True),
 ]
+TABLE1_SETTING = NonIIDSetting("quantity", 2, 50)
+
+
+def _toggle_variant(use_ln: bool, use_lp: bool) -> SweepVariant:
+    return SweepVariant(
+        label=f"ln{int(use_ln)}-lp{int(use_lp)}",
+        overrides={"num_prototypes": 5, "use_ln": use_ln, "use_lp": use_lp},
+    )
+
+
+def table1_sweep(
+    variants: Sequence[str] = TABLE1_VARIANTS,
+    seeds: Sequence[int] = (0,),
+    setting: Optional[NonIIDSetting] = None,
+    config=None,
+    dataset_kwargs: Optional[Dict] = None,
+    **spec_overrides,
+) -> SweepSpec:
+    """Declare Table I's grid: Calibre variants x (L_n, L_p) toggles."""
+    setting = setting if setting is not None else TABLE1_SETTING
+    return SweepSpec(
+        name="table1",
+        methods=list(variants),
+        settings=[setting],
+        datasets=["cifar10"],
+        seeds=list(seeds),
+        config=config if config is not None else SCALED_CONFIG,
+        variants=[_toggle_variant(use_ln, use_lp)
+                  for use_ln, use_lp in TABLE1_TOGGLES],
+        dataset_kwargs={"cifar10": {**SCALED_DATASET_KWARGS["cifar10"],
+                                    **(dataset_kwargs or {})}},
+        **spec_overrides,
+    )
+
+
+def table1_rows_from_records(
+    cells: Sequence[RunKey],
+    records: Sequence[Optional[Dict]],
+    variants: Sequence[str] = TABLE1_VARIANTS,
+    seed: int = 0,
+) -> List[Dict]:
+    """Regenerate Table I rows from stored cell records (no retraining).
+
+    Returns rows of ``{"ln": bool, "lp": bool,
+    "results": {variant: (mean, std)}}`` in the paper's row order,
+    regardless of the order cells completed in.
+    """
+    by_coordinate = {(key.seed, key.variant, key.method): record
+                     for key, record in zip(cells, records)}
+    rows: List[Dict] = []
+    for use_ln, use_lp in TABLE1_TOGGLES:
+        label = _toggle_variant(use_ln, use_lp).label
+        results: Dict[str, Tuple[float, float]] = {}
+        for method in variants:
+            record = by_coordinate.get((seed, label, method))
+            if record is None:
+                raise KeyError(f"no record for cell (seed={seed}, {label}, {method}); "
+                               "run the sweep to completion first")
+            results[method] = (record["report"]["mean"], record["report"]["std"])
+        rows.append({"ln": use_ln, "lp": use_lp, "results": results})
+    return rows
 
 
 def run_table1(
@@ -33,35 +102,24 @@ def run_table1(
     seed: int = 0,
     setting: Optional[NonIIDSetting] = None,
     verbose: bool = False,
+    store=None,
+    scheduler: str = "serial",
+    jobs: Optional[int] = None,
     **spec_overrides,
 ) -> List[Dict]:
-    """Regenerate Table I rows: one experiment per (L_n, L_p) toggle pair.
+    """Regenerate Table I rows: one sweep cell per (variant, L_n, L_p).
 
-    Returns rows of ``{"ln": bool, "lp": bool,
-    "results": {variant: (mean, std)}}`` in the paper's row order.
+    ``store`` (a path or :class:`~repro.runs.RunStore`) makes the run
+    persistent and resumable; ``scheduler``/``jobs`` pick the
+    experiment-level execution backend.  Returns rows in the paper's row
+    order (see :func:`table1_rows_from_records`).
     """
-    setting = setting if setting is not None else NonIIDSetting("quantity", 2, 50)
-    rows: List[Dict] = []
-    for use_ln, use_lp in TABLE1_TOGGLES:
-        results: Dict[str, Tuple[float, float]] = {}
-        overrides = {
-            variant: {"num_prototypes": 5, "use_ln": use_ln, "use_lp": use_lp}
-            for variant in variants
-        }
-        spec = scaled_spec(
-            "cifar10",
-            setting,
-            list(variants),
-            seed=seed,
-            name=f"table1 ln={use_ln} lp={use_lp}",
-            method_overrides=overrides,
-            **spec_overrides,
-        )
-        outcome = run_experiment(spec, verbose=verbose)
-        for variant in variants:
-            report = outcome.reports[variant]
-            results[variant] = (report.mean, report.std)
-        rows.append({"ln": use_ln, "lp": use_lp, "results": results})
+    sweep = table1_sweep(variants=variants, seeds=(seed,), setting=setting,
+                         **spec_overrides)
+    summary = run_sweep(sweep, store=store, backend=scheduler, workers=jobs,
+                        verbose=verbose)
+    rows = table1_rows_from_records(summary.cells, summary.records,
+                                    variants=list(variants), seed=seed)
     if verbose:
         print(format_ablation_table(rows))
     return rows

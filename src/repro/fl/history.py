@@ -10,6 +10,13 @@ import numpy as np
 __all__ = ["RoundRecord", "RunResult"]
 
 
+def _scalar(value) -> float:
+    """Coerce numpy scalars (and ints) to plain Python floats for JSON."""
+    if isinstance(value, np.generic):
+        value = value.item()
+    return float(value)
+
+
 @dataclass
 class RoundRecord:
     """Aggregated metrics for one communication round."""
@@ -18,6 +25,25 @@ class RoundRecord:
     participant_ids: List[int]
     mean_loss: float
     metrics: Dict[str, float] = field(default_factory=dict)
+
+    def to_json(self) -> Dict:
+        """A JSON-ready dict; numpy scalars become Python ints/floats."""
+        return {
+            "round_index": int(self.round_index),
+            "participant_ids": [int(pid) for pid in self.participant_ids],
+            "mean_loss": _scalar(self.mean_loss),
+            "metrics": {str(k): _scalar(v) for k, v in self.metrics.items()},
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict) -> "RoundRecord":
+        return cls(
+            round_index=int(payload["round_index"]),
+            participant_ids=[int(pid) for pid in payload["participant_ids"]],
+            mean_loss=float(payload["mean_loss"]),
+            metrics={str(k): float(v)
+                     for k, v in payload.get("metrics", {}).items()},
+        )
 
 
 @dataclass
@@ -34,6 +60,35 @@ class RunResult:
     novel_accuracies: Dict[int, float] = field(default_factory=dict)
     rounds: List[RoundRecord] = field(default_factory=list)
     extras: Dict[str, float] = field(default_factory=dict)
+
+    def to_json(self) -> Dict:
+        """A JSON-ready dict that :meth:`from_json` inverts exactly.
+
+        Client ids become string keys (JSON objects require them) and all
+        numpy scalars become Python floats; floats survive a
+        ``json.dumps``/``loads`` round trip bit-for-bit because Python
+        serializes them via ``repr``.
+        """
+        return {
+            "algorithm": self.algorithm,
+            "accuracies": {str(k): _scalar(v) for k, v in self.accuracies.items()},
+            "novel_accuracies": {str(k): _scalar(v)
+                                 for k, v in self.novel_accuracies.items()},
+            "rounds": [record.to_json() for record in self.rounds],
+            "extras": {str(k): _scalar(v) for k, v in self.extras.items()},
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict) -> "RunResult":
+        return cls(
+            algorithm=payload["algorithm"],
+            accuracies={int(k): float(v)
+                        for k, v in payload.get("accuracies", {}).items()},
+            novel_accuracies={int(k): float(v)
+                              for k, v in payload.get("novel_accuracies", {}).items()},
+            rounds=[RoundRecord.from_json(r) for r in payload.get("rounds", [])],
+            extras={str(k): float(v) for k, v in payload.get("extras", {}).items()},
+        )
 
     def accuracy_vector(self, novel: bool = False) -> np.ndarray:
         source = self.novel_accuracies if novel else self.accuracies

@@ -20,6 +20,7 @@ reduces an upstream gradient back to a parent's shape.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -34,7 +35,11 @@ __all__ = [
     "unbroadcast",
 ]
 
-_GRAD_ENABLED = True
+# Grad mode is thread-local: the thread execution backends run independent
+# clients (and, via repro.runs, whole experiments) concurrently, and one
+# thread evaluating under no_grad() must not strip another thread's
+# training graph mid-backward.  Each new thread starts with grads enabled.
+_GRAD_STATE = threading.local()
 _DEFAULT_DTYPE = np.float64
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
@@ -59,20 +64,24 @@ def get_default_dtype():
 
 
 def is_grad_enabled() -> bool:
-    """Return True when operations record the autograd graph."""
-    return _GRAD_ENABLED
+    """Return True when operations record the autograd graph (per thread)."""
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager that disables autograd graph construction."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    """Context manager that disables autograd graph construction.
+
+    The flag is per-thread (see ``_GRAD_STATE``), matching PyTorch's
+    semantics: disabling grads on an evaluation thread leaves concurrently
+    training threads untouched.
+    """
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -190,7 +199,7 @@ class Tensor:
     # Graph plumbing
     # ------------------------------------------------------------------
     def _make_output(self, data: np.ndarray, parents: Tuple["Tensor", ...]) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires, dtype=data.dtype)
         if requires:
             out._parents = parents
@@ -588,7 +597,7 @@ class Tensor:
     def concat(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
         tensors = [as_tensor(t) for t in tensors]
         data = np.concatenate([t.data for t in tensors], axis=axis)
-        requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+        requires = is_grad_enabled() and any(t.requires_grad for t in tensors)
         out = Tensor(data, requires_grad=requires, dtype=data.dtype)
         if requires:
             out._parents = tuple(tensors)

@@ -1,0 +1,184 @@
+"""Sweep scheduler: dispatch pending cells over the execution backends.
+
+This is experiment-level parallelism layered *above* the client-level
+parallelism of :mod:`repro.fl.execution`: one sweep cell = one
+single-method :func:`~repro.eval.harness.run_experiment`, and the cells
+are mapped over an :class:`~repro.fl.execution.ExecutionBackend` with a
+chunk size of 1 so every finished cell is persisted immediately — a
+killed sweep loses at most the cells in flight.
+
+Determinism: cells are pure functions of their :class:`RunKey` (the
+execution engines are bitwise-deterministic), each record lands in a file
+named by the key's content hash, and reports read the store in the
+sweep's canonical cell order — so sweep results are identical regardless
+of scheduler backend or completion order.
+
+When the outer scheduler is parallel, each cell's *inner* client
+execution is forced serial: nesting process pools inside pool workers is
+where the cores already are, and the inner backend cannot change results
+anyway (it is excluded from the cell fingerprint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..eval.harness import run_experiment
+from ..fl.execution import resolve_backend
+from .serialize import RECORD_SCHEMA
+from .spec import RunKey, SweepSpec
+from .store import RunStore
+
+__all__ = ["run_sweep", "execute_cell", "make_record", "SweepSummary"]
+
+
+def make_record(key: RunKey, result, report, novel_report=None) -> Dict:
+    """Assemble the deterministic cell record (no timestamps, no host info)."""
+    record = {
+        "schema": RECORD_SCHEMA,
+        "fingerprint": key.fingerprint,
+        "key": key.to_jsonable(),
+        "result": result.to_json(),
+        "report": report.as_dict(),
+    }
+    if novel_report is not None:
+        record["novel_report"] = novel_report.as_dict()
+    return record
+
+
+def execute_cell(key: RunKey, client_backend: Optional[str] = None,
+                 verbose: bool = False) -> Dict:
+    """Run one cell end-to-end and return its store record."""
+    outcome = run_experiment(key.to_spec(), verbose=verbose,
+                             backend=client_backend)
+    result = outcome.results[key.method]
+    report = outcome.reports[key.method]
+    novel_report = outcome.novel_reports.get(key.method)
+    return make_record(key, result, report, novel_report)
+
+
+@dataclass
+class _CellTask:
+    """Picklable per-cell worker: run, persist, return the record.
+
+    Writing from inside the task (rather than on the coordinator after
+    ``map_clients`` returns) is what gives crash resumability its
+    granularity: the store reflects every completed cell the moment it
+    finishes, on every backend including serial.
+    """
+
+    store_root: Optional[str]
+    client_backend: Optional[str] = None
+    verbose: bool = False
+
+    def __call__(self, key: RunKey) -> Dict:
+        record = execute_cell(key, client_backend=self.client_backend,
+                              verbose=self.verbose)
+        if self.store_root is not None:
+            RunStore(self.store_root).write_record(record)
+        if self.verbose:
+            mean = record["report"]["mean"]
+            print(f"  [cell {key.fingerprint}] {key.label()}: mean={mean:.4f}")
+        return record
+
+
+@dataclass
+class SweepSummary:
+    """What one scheduler pass did, plus the full grid's records.
+
+    ``records`` aligns 1:1 with ``cells`` (the canonical grid order);
+    entries are ``None`` only for cells deferred by ``max_cells``.
+    """
+
+    name: str
+    cells: List[RunKey]
+    records: List[Optional[Dict]]
+    executed: List[str] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+    deferred: List[str] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return all(record is not None for record in self.records)
+
+    def describe(self) -> str:
+        return (f"sweep {self.name}: executed={len(self.executed)} "
+                f"skipped={len(self.skipped)} deferred={len(self.deferred)} "
+                f"total={len(self.cells)}")
+
+
+def run_sweep(sweep: SweepSpec,
+              store: Optional[Union[str, Path, RunStore]] = None,
+              backend: str = "serial",
+              workers: Optional[int] = None,
+              max_cells: Optional[int] = None,
+              client_backend: Optional[str] = None,
+              verbose: bool = False) -> SweepSummary:
+    """Run every pending cell of ``sweep``, resuming from ``store``.
+
+    ``store`` may be a path (created on demand), an open :class:`RunStore`,
+    or ``None`` for an ephemeral in-memory pass.  ``backend``/``workers``
+    pick the *experiment-level* scheduler (any :mod:`repro.fl.execution`
+    backend, with its usual graceful serial fallback); ``client_backend``
+    overrides each cell's inner client-execution engine and defaults to
+    serial whenever the outer scheduler is parallel.  ``max_cells`` bounds
+    how many pending cells this pass may execute (budgeted/smoke runs);
+    the rest are reported as deferred.
+    """
+    if store is not None and not isinstance(store, RunStore):
+        store = RunStore(store)
+    if max_cells is not None and max_cells < 0:
+        raise ValueError(f"max_cells must be >= 0 or None, got {max_cells}")
+    cells = sweep.cells()
+    done = store.completed_fingerprints() if store is not None else set()
+
+    pending: List[RunKey] = []
+    skipped: List[str] = []
+    scheduled: set = set()
+    for key in cells:
+        fingerprint = key.fingerprint
+        if fingerprint in done:
+            if fingerprint not in skipped:
+                skipped.append(fingerprint)
+            continue
+        if fingerprint in scheduled:  # duplicate cells run once
+            continue
+        scheduled.add(fingerprint)
+        pending.append(key)
+    deferred: List[RunKey] = []
+    if max_cells is not None and len(pending) > max_cells:
+        pending, deferred = pending[:max_cells], pending[max_cells:]
+
+    engine = resolve_backend(backend, workers=workers, chunk_size=1)
+    inner = client_backend
+    if inner is None and engine.name != "serial":
+        inner = "serial"
+    if store is not None:
+        store.write_sweep(sweep)
+    task = _CellTask(store_root=str(store.root) if store is not None else None,
+                     client_backend=inner, verbose=verbose)
+    try:
+        new_records = engine.map_clients(task, pending)
+    finally:
+        engine.close()
+
+    by_fingerprint = {record["fingerprint"]: record for record in new_records}
+    records: List[Optional[Dict]] = []
+    for key in cells:
+        fingerprint = key.fingerprint
+        if fingerprint in by_fingerprint:
+            records.append(by_fingerprint[fingerprint])
+        elif store is not None and store.has(fingerprint):
+            records.append(store.read_record(fingerprint))
+        else:
+            records.append(None)
+    return SweepSummary(
+        name=sweep.name,
+        cells=cells,
+        records=records,
+        executed=[key.fingerprint for key in pending],
+        skipped=skipped,
+        deferred=[key.fingerprint for key in deferred],
+    )

@@ -1,0 +1,292 @@
+"""Declarative sweep grids and content-hashed run keys.
+
+A :class:`SweepSpec` names a grid of independent experiment cells —
+method x dataset x :class:`~repro.eval.harness.NonIIDSetting` x seed x
+override variant — exactly the structure of the paper's artifacts
+(Table I is 3 methods x 4 regularizer toggles; Fig. 3 is 20 methods per
+panel).  :meth:`SweepSpec.cells` expands the grid into :class:`RunKey`
+objects in a deterministic order.
+
+A :class:`RunKey` is the unit of work and the unit of storage: its
+``fingerprint`` is a SHA-256 content hash of everything that determines
+the cell's *result* — and nothing that doesn't.  Execution knobs
+(``backend``/``workers``/``shared_memory``) are excluded because the
+engines are bitwise-deterministic, and the cosmetic ``variant`` label is
+excluded because two labels with identical overrides denote the same
+computation.  That is what makes resume safe: a killed sweep relaunched
+under a different scheduler still recognizes every finished cell.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..eval.harness import ExperimentSpec, NonIIDSetting
+from ..fl.config import FederatedConfig
+from .serialize import (
+    canonical_json,
+    config_from_jsonable,
+    config_to_jsonable,
+    setting_from_jsonable,
+    setting_to_jsonable,
+    to_jsonable,
+)
+
+__all__ = ["RunKey", "SweepVariant", "SweepSpec", "FINGERPRINT_LENGTH"]
+
+FINGERPRINT_LENGTH = 16
+"""Hex digits kept from the SHA-256 digest (64 bits — ample for any grid)."""
+
+
+@dataclass
+class RunKey:
+    """One experiment cell: a single method on a single workload and seed.
+
+    ``overrides`` are the method's fully-merged keyword overrides (base
+    sweep overrides + variant overrides); ``variant`` is the cosmetic
+    label of the override point that produced them.
+    """
+
+    dataset: str
+    setting: NonIIDSetting
+    method: str
+    seed: int
+    config: FederatedConfig
+    variant: str = ""
+    overrides: Dict = field(default_factory=dict)
+    encoder: str = "mlp"
+    encoder_width: int = 8
+    encoder_hidden_dims: Tuple[int, ...] = (64, 32)
+    dataset_kwargs: Dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def semantic_payload(self) -> Dict:
+        """Everything that determines the cell's result, JSON-typed.
+
+        Execution knobs and the variant label are deliberately absent —
+        see the module docstring.
+        """
+        return {
+            "dataset": self.dataset,
+            "setting": setting_to_jsonable(self.setting),
+            "method": self.method,
+            "seed": int(self.seed),
+            "config": config_to_jsonable(self.config, include_execution=False),
+            "overrides": to_jsonable(self.overrides),
+            "encoder": self.encoder,
+            "encoder_width": int(self.encoder_width),
+            "encoder_hidden_dims": [int(dim) for dim in self.encoder_hidden_dims],
+            "dataset_kwargs": to_jsonable(self.dataset_kwargs),
+        }
+
+    @property
+    def fingerprint(self) -> str:
+        digest = hashlib.sha256(canonical_json(self.semantic_payload()).encode())
+        return digest.hexdigest()[:FINGERPRINT_LENGTH]
+
+    def label(self) -> str:
+        text = f"{self.dataset} {self.setting.label()} {self.method} seed={self.seed}"
+        if self.variant:
+            text += f" [{self.variant}]"
+        return text
+
+    # ------------------------------------------------------------------
+    def to_jsonable(self) -> Dict:
+        payload = self.semantic_payload()
+        payload["variant"] = self.variant
+        return payload
+
+    @classmethod
+    def from_jsonable(cls, payload: Dict) -> "RunKey":
+        return cls(
+            dataset=payload["dataset"],
+            setting=setting_from_jsonable(payload["setting"]),
+            method=payload["method"],
+            seed=int(payload["seed"]),
+            config=config_from_jsonable(payload["config"]),
+            variant=payload.get("variant", ""),
+            overrides=dict(payload.get("overrides", {})),
+            encoder=payload.get("encoder", "mlp"),
+            encoder_width=int(payload.get("encoder_width", 8)),
+            encoder_hidden_dims=tuple(payload.get("encoder_hidden_dims", (64, 32))),
+            dataset_kwargs=dict(payload.get("dataset_kwargs", {})),
+        )
+
+    def to_spec(self) -> ExperimentSpec:
+        """The single-method :class:`ExperimentSpec` this cell executes."""
+        return ExperimentSpec(
+            dataset=self.dataset,
+            setting=self.setting,
+            config=self.config,
+            methods=[self.method],
+            encoder=self.encoder,
+            encoder_width=self.encoder_width,
+            encoder_hidden_dims=tuple(self.encoder_hidden_dims),
+            dataset_kwargs=dict(self.dataset_kwargs),
+            method_overrides={self.method: dict(self.overrides)},
+            seed=self.seed,
+            name=self.label(),
+        )
+
+
+@dataclass
+class SweepVariant:
+    """One point on the override axis of a sweep grid.
+
+    ``overrides`` are merged *over* the sweep's base per-method overrides
+    for whichever method the cell runs — Table I's four (L_n, L_p)
+    toggles are four variants over the three Calibre methods.
+    """
+
+    label: str = ""
+    overrides: Dict = field(default_factory=dict)
+
+
+@dataclass
+class SweepSpec:
+    """A declarative grid of experiment cells.
+
+    The grid is the cross product ``seeds x datasets x settings x
+    variants x methods``; :meth:`cells` expands it in exactly that nested
+    order, which is the canonical ordering every report uses.  Each
+    cell's config is reseeded to the cell's seed (``config.seed`` drives
+    round sampling), so one ``SweepSpec`` covers multi-seed replication.
+    """
+
+    name: str
+    methods: Sequence[str]
+    settings: Sequence[NonIIDSetting]
+    datasets: Sequence[str] = ("cifar10",)
+    seeds: Sequence[int] = (0,)
+    config: Optional[FederatedConfig] = None
+    variants: Sequence[SweepVariant] = (SweepVariant(),)
+    method_overrides: Dict[str, Dict] = field(default_factory=dict)
+    dataset_kwargs: Dict[str, Dict] = field(default_factory=dict)
+    encoder: str = "mlp"
+    encoder_width: int = 8
+    encoder_hidden_dims: Sequence[int] = (64, 32)
+
+    def __post_init__(self):
+        self.methods = list(self.methods)
+        self.settings = list(self.settings)
+        self.datasets = list(self.datasets)
+        self.seeds = [int(seed) for seed in self.seeds]
+        self.variants = list(self.variants)
+        if self.config is None:
+            self.config = FederatedConfig()
+        if not self.name:
+            raise ValueError("sweep name must be non-empty")
+        for axis, label in ((self.methods, "methods"), (self.settings, "settings"),
+                            (self.datasets, "datasets"), (self.seeds, "seeds"),
+                            (self.variants, "variants")):
+            if not axis:
+                raise ValueError(f"sweep axis '{label}' must be non-empty")
+        from ..eval.registry import available_methods
+
+        unknown = [m for m in self.methods if m not in available_methods()]
+        if unknown:
+            raise KeyError(f"unknown methods {unknown}; "
+                           f"available: {available_methods()}")
+        labels = [variant.label for variant in self.variants]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"variant labels must be unique, got {labels}")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_cells(self) -> int:
+        return (len(self.seeds) * len(self.datasets) * len(self.settings)
+                * len(self.variants) * len(self.methods))
+
+    def merged_overrides(self, method: str, variant: SweepVariant) -> Dict:
+        return {**self.method_overrides.get(method, {}), **variant.overrides}
+
+    def cells(self) -> List[RunKey]:
+        """Expand the grid in canonical order (seed, dataset, setting,
+        variant, method) — the order is part of the subsystem's contract:
+        reports index into it, and it never depends on completion order."""
+        keys: List[RunKey] = []
+        for seed in self.seeds:
+            config = self.config.with_overrides(seed=seed)
+            for dataset in self.datasets:
+                kwargs = dict(self.dataset_kwargs.get(dataset, {}))
+                for setting in self.settings:
+                    for variant in self.variants:
+                        for method in self.methods:
+                            keys.append(RunKey(
+                                dataset=dataset,
+                                setting=setting,
+                                method=method,
+                                seed=seed,
+                                config=config,
+                                variant=variant.label,
+                                overrides=self.merged_overrides(method, variant),
+                                encoder=self.encoder,
+                                encoder_width=self.encoder_width,
+                                encoder_hidden_dims=tuple(self.encoder_hidden_dims),
+                                dataset_kwargs=kwargs,
+                            ))
+        return keys
+
+    def cells_for(self, seed: Optional[int] = None, dataset: Optional[str] = None,
+                  variant: Optional[str] = None) -> List[RunKey]:
+        """The canonical cell list filtered by coordinate (reporting helper)."""
+        return [key for key in self.cells()
+                if (seed is None or key.seed == seed)
+                and (dataset is None or key.dataset == dataset)
+                and (variant is None or key.variant == variant)]
+
+    def to_experiment_spec(self, seed: Optional[int] = None,
+                           name: str = "") -> ExperimentSpec:
+        """Collapse a single-panel sweep back into one multi-method spec.
+
+        Only valid when the grid has exactly one dataset, setting, and
+        variant (the Fig. 3/4 shape); ``seed`` defaults to the sweep's
+        single seed and must be one of ``seeds`` otherwise.
+        """
+        if len(self.datasets) != 1 or len(self.settings) != 1 or len(self.variants) != 1:
+            raise ValueError(
+                "to_experiment_spec needs a single-panel sweep "
+                f"(got {len(self.datasets)} datasets, {len(self.settings)} settings, "
+                f"{len(self.variants)} variants)")
+        if seed is None:
+            if len(self.seeds) != 1:
+                raise ValueError(f"pick one of seeds {self.seeds}")
+            seed = self.seeds[0]
+        elif seed not in self.seeds:
+            raise ValueError(f"seed {seed} not in sweep seeds {self.seeds}")
+        variant = self.variants[0]
+        dataset = self.datasets[0]
+        return ExperimentSpec(
+            dataset=dataset,
+            setting=self.settings[0],
+            config=self.config.with_overrides(seed=seed),
+            methods=list(self.methods),
+            encoder=self.encoder,
+            encoder_width=self.encoder_width,
+            encoder_hidden_dims=tuple(self.encoder_hidden_dims),
+            dataset_kwargs=dict(self.dataset_kwargs.get(dataset, {})),
+            method_overrides={method: self.merged_overrides(method, variant)
+                              for method in self.methods},
+            seed=seed,
+            name=name or self.name,
+        )
+
+    def to_jsonable(self) -> Dict:
+        return {
+            "name": self.name,
+            "methods": list(self.methods),
+            "datasets": list(self.datasets),
+            "settings": [setting_to_jsonable(s) for s in self.settings],
+            "seeds": list(self.seeds),
+            "config": config_to_jsonable(self.config, include_execution=False),
+            "variants": [{"label": v.label, "overrides": to_jsonable(v.overrides)}
+                         for v in self.variants],
+            "method_overrides": to_jsonable(self.method_overrides),
+            "dataset_kwargs": to_jsonable(self.dataset_kwargs),
+            "encoder": self.encoder,
+            "encoder_width": int(self.encoder_width),
+            "encoder_hidden_dims": [int(d) for d in self.encoder_hidden_dims],
+            "fingerprints": [key.fingerprint for key in self.cells()],
+        }

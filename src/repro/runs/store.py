@@ -1,0 +1,157 @@
+"""Persistent, resumable run store: one JSON record per experiment cell.
+
+Directory layout (everything human-readable)::
+
+    <runs-dir>/
+        cells/<fingerprint>.json   # authoritative: one record per finished cell
+        index.jsonl                # append-only log: one line per write
+        sweeps/<name>.json         # provenance: the sweep grids that ran here
+
+The ``cells/`` files are the source of truth — a cell is complete iff its
+file exists.  Records are written with write-then-``os.replace`` so a
+killed sweep never leaves a torn file, and the filename *is* the content
+hash of the cell's parameters, so resume is a directory scan, identical
+cells across sweeps share storage, and two schedulers racing on the same
+cell converge on identical bytes.  ``index.jsonl`` is a convenience log
+(its line order reflects completion order and may interleave under
+parallel scheduling); :meth:`RunStore.rebuild_index` regenerates it from
+the cell files in canonical fingerprint order.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Union
+
+from .serialize import atomic_write_text, encode_record
+from .spec import RunKey, SweepSpec
+
+__all__ = ["RunStore"]
+
+
+def _fingerprint_of(key: Union[str, RunKey]) -> str:
+    return key.fingerprint if isinstance(key, RunKey) else str(key)
+
+
+def _safe_name(name: str) -> str:
+    return "".join(ch if ch.isalnum() or ch in "._-" else "-" for ch in name)
+
+
+def _index_entry(record: Dict) -> Dict:
+    """The one-line ``index.jsonl`` shape (shared by append and rebuild)."""
+    key = record.get("key", {})
+    return {
+        "fingerprint": record["fingerprint"],
+        "dataset": key.get("dataset"),
+        "method": key.get("method"),
+        "seed": key.get("seed"),
+        "variant": key.get("variant", ""),
+        "setting": key.get("setting"),
+    }
+
+
+class RunStore:
+    """Filesystem-backed store of completed experiment cells."""
+
+    def __init__(self, root: Union[str, Path], create: bool = True):
+        self.root = Path(root)
+        self.cells_dir = self.root / "cells"
+        self.sweeps_dir = self.root / "sweeps"
+        self.index_path = self.root / "index.jsonl"
+        if create:
+            self.cells_dir.mkdir(parents=True, exist_ok=True)
+            self.sweeps_dir.mkdir(parents=True, exist_ok=True)
+        elif not self.cells_dir.is_dir():
+            raise FileNotFoundError(f"no run store at {self.root}")
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: Union[str, RunKey]) -> Path:
+        return self.cells_dir / f"{_fingerprint_of(key)}.json"
+
+    def has(self, key: Union[str, RunKey]) -> bool:
+        return self.path_for(key).is_file()
+
+    def completed_fingerprints(self) -> Set[str]:
+        """Scan ``cells/`` — the authoritative completion set.
+
+        In-flight temp files are dot-prefixed with a ``.tmp`` suffix, so
+        the ``*.json`` glob can never pick up a partial write.
+        """
+        return {path.stem for path in self.cells_dir.glob("*.json")}
+
+    def __len__(self) -> int:
+        return len(self.completed_fingerprints())
+
+    def __repr__(self) -> str:
+        return f"RunStore({str(self.root)!r}, cells={len(self)})"
+
+    # ------------------------------------------------------------------
+    def write_record(self, record: Dict) -> Path:
+        """Atomically persist one cell record and append its index line."""
+        fingerprint = record.get("fingerprint")
+        if not fingerprint:
+            raise ValueError("record is missing its 'fingerprint' field")
+        path = atomic_write_text(self.path_for(fingerprint), encode_record(record))
+        self._append_index(record)
+        return path
+
+    def _append_index(self, record: Dict) -> None:
+        # One small single-line write in append mode: safe enough under
+        # concurrent writers, and the index is a rebuildable cache anyway.
+        with open(self.index_path, "a") as stream:
+            stream.write(json.dumps(_index_entry(record), sort_keys=True) + "\n")
+
+    def read_record(self, key: Union[str, RunKey]) -> Dict:
+        path = self.path_for(key)
+        if not path.is_file():
+            raise KeyError(f"no record for cell {_fingerprint_of(key)} in {self.root}")
+        with open(path) as stream:
+            return json.load(stream)
+
+    # ------------------------------------------------------------------
+    def missing(self, cells: Sequence[RunKey]) -> List[RunKey]:
+        """The subset of ``cells`` with no stored record, in input order."""
+        done = self.completed_fingerprints()
+        return [key for key in cells if key.fingerprint not in done]
+
+    def load_records(self, cells: Sequence[Union[str, RunKey]],
+                     strict: bool = True) -> List[Optional[Dict]]:
+        """Records for ``cells`` in input order (canonical grid order).
+
+        ``strict=True`` raises on any missing cell, naming them all;
+        ``strict=False`` returns ``None`` placeholders instead.
+        """
+        records: List[Optional[Dict]] = []
+        absent: List[str] = []
+        for key in cells:
+            if self.has(key):
+                records.append(self.read_record(key))
+            else:
+                records.append(None)
+                label = key.label() if isinstance(key, RunKey) else str(key)
+                absent.append(label)
+        if strict and absent:
+            raise KeyError(
+                f"{len(absent)} of {len(list(cells))} cells missing from {self.root}: "
+                + "; ".join(absent[:5]) + ("; ..." if len(absent) > 5 else ""))
+        return records
+
+    def rebuild_index(self) -> int:
+        """Rewrite ``index.jsonl`` from the cell files, sorted by fingerprint.
+
+        Returns the number of indexed cells.  Use after crashes or manual
+        surgery on ``cells/`` — the cell files stay authoritative either way.
+        """
+        fingerprints = sorted(self.completed_fingerprints())
+        lines = [json.dumps(_index_entry(self.read_record(fingerprint)),
+                            sort_keys=True)
+                 for fingerprint in fingerprints]
+        atomic_write_text(self.index_path, "".join(line + "\n" for line in lines))
+        return len(fingerprints)
+
+    # ------------------------------------------------------------------
+    def write_sweep(self, sweep: SweepSpec) -> Path:
+        """Persist the sweep grid itself (provenance for ``repro report``)."""
+        path = self.sweeps_dir / f"{_safe_name(sweep.name)}.json"
+        return atomic_write_text(path, encode_record(sweep.to_jsonable()))

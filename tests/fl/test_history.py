@@ -1,0 +1,85 @@
+"""Round-trip tests for run bookkeeping serialization (history.py)."""
+
+import json
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fl.history import RoundRecord, RunResult
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
+accuracies = st.dictionaries(st.integers(min_value=0, max_value=10_000),
+                             finite_floats, max_size=8)
+metric_names = st.text(min_size=1, max_size=12)
+
+
+round_records = st.builds(
+    RoundRecord,
+    round_index=st.integers(min_value=0, max_value=10_000),
+    participant_ids=st.lists(st.integers(min_value=0, max_value=10_000), max_size=6),
+    mean_loss=finite_floats,
+    metrics=st.dictionaries(metric_names, finite_floats, max_size=4),
+)
+
+run_results = st.builds(
+    RunResult,
+    algorithm=st.text(min_size=1, max_size=16),
+    accuracies=accuracies,
+    novel_accuracies=accuracies,
+    rounds=st.lists(round_records, max_size=3),
+    extras=st.dictionaries(metric_names, finite_floats, max_size=4),
+)
+
+
+class TestRoundRecordRoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(record=round_records)
+    def test_exact_round_trip_through_json_text(self, record):
+        payload = json.loads(json.dumps(record.to_json()))
+        assert RoundRecord.from_json(payload) == record
+
+    def test_numpy_scalars_are_coerced(self):
+        record = RoundRecord(
+            round_index=np.int64(3),
+            participant_ids=[np.int64(1), np.int32(2)],
+            mean_loss=np.float64(0.25),
+            metrics={"non_finite_losses": np.float32(1.0)},
+        )
+        payload = record.to_json()
+        assert type(payload["round_index"]) is int
+        assert all(type(pid) is int for pid in payload["participant_ids"])
+        assert type(payload["mean_loss"]) is float
+        assert all(type(v) is float for v in payload["metrics"].values())
+        json.dumps(payload)  # JSON-ready with no custom encoder
+
+
+class TestRunResultRoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(result=run_results)
+    def test_exact_round_trip_through_json_text(self, result):
+        # the full wire path: to_json -> dumps -> loads -> from_json
+        clone = RunResult.from_json(json.loads(json.dumps(result.to_json())))
+        assert clone.algorithm == result.algorithm
+        assert clone.accuracies == result.accuracies
+        assert clone.novel_accuracies == result.novel_accuracies
+        assert clone.rounds == result.rounds
+        assert clone.extras == result.extras
+
+    def test_client_ids_stay_integers(self):
+        result = RunResult(algorithm="x", accuracies={7: np.float64(0.5)})
+        clone = RunResult.from_json(result.to_json())
+        assert list(clone.accuracies) == [7]
+        assert type(list(clone.accuracies)[0]) is int
+        assert clone.accuracy_vector().tolist() == [0.5]
+
+    def test_summary_survives_round_trip(self):
+        result = RunResult(
+            algorithm="calibre-simclr",
+            accuracies={0: 0.5, 1: 1.0},
+            novel_accuracies={2: 0.25},
+            rounds=[RoundRecord(0, [0, 1], 1.5, {"non_finite_losses": 0.0})],
+            extras={"wall_seconds": 1.25},
+        )
+        clone = RunResult.from_json(json.loads(json.dumps(result.to_json())))
+        assert clone.summary() == result.summary()

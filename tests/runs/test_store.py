@@ -1,0 +1,107 @@
+"""Tests for the persistent run store (layout, atomicity, resume scans)."""
+
+import json
+
+import pytest
+
+from repro.eval import NonIIDSetting
+from repro.fl import FederatedConfig
+from repro.runs import RunStore, SweepSpec
+
+CONFIG = FederatedConfig(num_clients=4, clients_per_round=2, rounds=1,
+                         local_epochs=1, batch_size=16,
+                         personalization_epochs=2, seed=0)
+
+
+def make_sweep():
+    return SweepSpec(name="store-test", methods=["script-fair", "fedavg"],
+                     settings=[NonIIDSetting("quantity", 2, 20)], config=CONFIG)
+
+
+def fake_record(key, mean=0.5):
+    return {
+        "schema": 1,
+        "fingerprint": key.fingerprint,
+        "key": key.to_jsonable(),
+        "result": {"algorithm": key.method, "accuracies": {"0": mean},
+                   "novel_accuracies": {}, "rounds": [], "extras": {}},
+        "report": {"mean": mean, "variance": 0.0, "std": 0.0, "min": mean,
+                   "max": mean, "fairness_gap": 0.0, "worst_decile_mean": mean,
+                   "num_clients": 1},
+    }
+
+
+class TestRunStore:
+    def test_write_read_round_trip(self, tmp_path):
+        store = RunStore(tmp_path)
+        key = make_sweep().cells()[0]
+        record = fake_record(key)
+        path = store.write_record(record)
+        assert path == store.path_for(key)
+        assert store.has(key)
+        assert store.read_record(key) == json.loads(json.dumps(record))
+
+    def test_missing_record_raises_keyerror(self, tmp_path):
+        with pytest.raises(KeyError):
+            RunStore(tmp_path).read_record("deadbeef00000000")
+
+    def test_record_without_fingerprint_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            RunStore(tmp_path).write_record({"key": {}})
+
+    def test_completed_scan_ignores_temp_files(self, tmp_path):
+        store = RunStore(tmp_path)
+        cells = make_sweep().cells()
+        store.write_record(fake_record(cells[0]))
+        # a torn write from a killed process must not count as completed
+        (store.cells_dir / f".{cells[1].fingerprint}.json.1234.tmp").write_text("{")
+        assert store.completed_fingerprints() == {cells[0].fingerprint}
+        assert len(store) == 1
+
+    def test_missing_and_strict_load(self, tmp_path):
+        store = RunStore(tmp_path)
+        cells = make_sweep().cells()
+        store.write_record(fake_record(cells[0]))
+        assert store.missing(cells) == [cells[1]]
+        loose = store.load_records(cells, strict=False)
+        assert loose[0] is not None and loose[1] is None
+        with pytest.raises(KeyError) as excinfo:
+            store.load_records(cells)
+        assert "fedavg" in str(excinfo.value)
+
+    def test_load_records_preserves_input_order(self, tmp_path):
+        store = RunStore(tmp_path)
+        cells = make_sweep().cells()
+        # write in reverse completion order; reads follow canonical order
+        for key in reversed(cells):
+            store.write_record(fake_record(key))
+        records = store.load_records(cells)
+        assert [r["key"]["method"] for r in records] == [k.method for k in cells]
+
+    def test_rebuild_index(self, tmp_path):
+        store = RunStore(tmp_path)
+        cells = make_sweep().cells()
+        for key in cells:
+            store.write_record(fake_record(key))
+        store.index_path.write_text("garbage\n")
+        count = store.rebuild_index()
+        assert count == 2
+        lines = [json.loads(line) for line in
+                 store.index_path.read_text().splitlines()]
+        assert [e["fingerprint"] for e in lines] == sorted(
+            k.fingerprint for k in cells)
+        assert {e["method"] for e in lines} == {"script-fair", "fedavg"}
+
+    def test_write_sweep_is_deterministic(self, tmp_path):
+        store = RunStore(tmp_path)
+        sweep = make_sweep()
+        path = store.write_sweep(sweep)
+        first = path.read_bytes()
+        assert store.write_sweep(sweep).read_bytes() == first
+        assert path.name == "store-test.json"
+
+    def test_open_without_create_requires_existing_store(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            RunStore(tmp_path / "nope", create=False)
+        RunStore(tmp_path)  # create
+        RunStore(tmp_path, create=False)  # now opens fine

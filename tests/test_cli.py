@@ -1,8 +1,15 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+
+TINY_SWEEP_ARGS = [
+    "--exp", "fig3", "--panel", "0", "--methods", "script-fair", "fedavg",
+    "--rounds", "1", "--clients", "4", "--samples", "20",
+]
 
 
 class TestParser:
@@ -46,3 +53,65 @@ class TestMain:
         out = capsys.readouterr().out
         assert "script-fair" in out
         assert "method,mean_accuracy,accuracy_variance" in out
+
+    def test_run_out_persists_outcome(self, capsys, tmp_path):
+        out_path = tmp_path / "outcome.json"
+        code = main([
+            "run", "--method", "script-fair", "--setting", "dirichlet",
+            "--param", "0.5", "--samples", "20", "--rounds", "1",
+            "--clients", "4", "--out", str(out_path),
+        ])
+        assert code == 0
+        assert f"wrote {out_path}" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        assert set(payload["results"]) == {"script-fair"}
+        from repro.runs import load_outcome
+
+        outcome = load_outcome(out_path)
+        assert outcome.reports["script-fair"].num_clients == 4
+
+
+class TestSweepCommands:
+    def test_interrupted_sweep_resumes_and_reports(self, capsys, tmp_path):
+        runs_dir = str(tmp_path / "store")
+        base = ["--runs-dir", runs_dir] + TINY_SWEEP_ARGS
+
+        # "kill" after one cell via the cell budget, then relaunch
+        assert main(["sweep", "--quiet", "--max-cells", "1"] + base) == 0
+        first = capsys.readouterr().out
+        assert "executed=1 skipped=0 deferred=1 total=2" in first
+
+        assert main(["sweep", "--quiet"] + base) == 0
+        second = capsys.readouterr().out
+        assert "executed=1 skipped=1 deferred=0 total=2" in second
+
+        assert main(["sweep", "--quiet"] + base) == 0
+        third = capsys.readouterr().out
+        assert "executed=0 skipped=2 deferred=0 total=2" in third
+
+        # the report renders purely from the store
+        assert main(["report", "--csv"] + base) == 0
+        report = capsys.readouterr().out
+        assert "script-fair" in report and "fedavg" in report
+        assert "method,mean_accuracy,accuracy_variance" in report
+
+    def test_report_names_missing_cells(self, capsys, tmp_path):
+        runs_dir = str(tmp_path / "empty")
+        assert main(["sweep", "--quiet", "--max-cells", "0",
+                     "--runs-dir", runs_dir] + TINY_SWEEP_ARGS) == 0
+        capsys.readouterr()
+        assert main(["report", "--runs-dir", runs_dir] + TINY_SWEEP_ARGS) == 1
+        err = capsys.readouterr().err
+        assert "2 of 2 cells missing" in err
+        assert "script-fair" in err
+
+    def test_report_requires_existing_store(self, capsys, tmp_path):
+        code = main(["report", "--runs-dir", str(tmp_path / "nope")]
+                    + TINY_SWEEP_ARGS)
+        assert code == 1
+        assert "no run store" in capsys.readouterr().err
+
+    def test_sweep_rejects_unknown_methods(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--runs-dir", str(tmp_path), "--exp", "fig3",
+                  "--methods", "bogus"])
