@@ -1,0 +1,170 @@
+"""Kill-and-resume-mid-cell smoke check (CI guard for the session API).
+
+Where ``sweep_resume_smoke.py`` exercises resume at *cell* granularity,
+this drives the round-level checkpoint path end-to-end through the real
+CLI and a real SIGKILL:
+
+1. sweep a 1-cell grid to completion in a reference store (no
+   checkpoints) — the ground-truth bytes;
+2. launch the same sweep with ``--round-checkpoints`` in a subprocess and
+   SIGKILL it partway through the cell, after at least two rounds have
+   checkpointed;
+3. relaunch — the cell must *resume mid-cell* at the checkpointed round,
+   recompute only the remaining rounds (counted from the per-round
+   progress lines), and clean its checkpoint up;
+4. the resumed store's cell file must be byte-identical to the reference,
+   and ``repro report`` must render byte-identically from both stores.
+
+Exits non-zero (with a diagnostic) the moment any step diverges.
+
+Usage::
+
+    python benchmarks/mid_cell_resume_smoke.py
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+ROUNDS = 60  # enough rounds that the kill always lands mid-cell
+KILL_AFTER_ROUND = 2
+
+# 1 cell: one cheap method on a scaled-down fig3 panel 0 grid.
+GRID_ARGS = [
+    "--exp", "fig3", "--panel", "0", "--methods", "fedavg",
+    "--rounds", str(ROUNDS), "--clients", "4", "--samples", "20",
+]
+
+RESUME_PATTERN = re.compile(r"\[resume\] fedavg at round (\d+)/(\d+)")
+ROUND_LINE_PATTERN = re.compile(r"^\[fedavg\] round \d+/\d+ ", re.MULTILINE)
+
+
+def fail(message: str):
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def cli_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (str(REPO_ROOT / "src")
+                         + os.pathsep + env.get("PYTHONPATH", ""))
+    return env
+
+
+def run_cli(*args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True, text=True, env=cli_env(), cwd=REPO_ROOT,
+    )
+    if result.returncode != 0:
+        fail(f"repro {' '.join(args[:2])} exited {result.returncode}:\n"
+             f"{result.stdout}\n{result.stderr}")
+    return result.stdout
+
+
+def checkpoint_round(store: Path):
+    """The round_index of the in-flight cell's checkpoint, or None."""
+    for path in store.glob("checkpoints/*/fedavg.json"):
+        try:
+            return int(json.loads(path.read_text())["round_index"])
+        except (ValueError, KeyError, OSError):
+            return None  # mid-replace; try again next poll
+    return None
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="midcell-smoke-") as tmp:
+        reference = Path(tmp) / "reference"
+        store = Path(tmp) / "store"
+
+        # 1. Ground truth: the same grid swept uninterrupted.
+        run_cli("sweep", "--quiet", "--runs-dir", str(reference), *GRID_ARGS)
+        reference_cells = sorted((reference / "cells").glob("*.json"))
+        if len(reference_cells) != 1:
+            fail(f"expected 1 reference cell, found {len(reference_cells)}")
+
+        # 2. Kill a checkpointing sweep mid-cell.
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "sweep", "--round-checkpoints",
+             "--runs-dir", str(store), *GRID_ARGS],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env=cli_env(), cwd=REPO_ROOT,
+        )
+        deadline = time.monotonic() + 120
+        killed_at = None
+        while time.monotonic() < deadline:
+            round_index = checkpoint_round(store)
+            if round_index is not None and round_index >= KILL_AFTER_ROUND:
+                process.send_signal(signal.SIGKILL)
+                process.wait()
+                # The checkpoint may have advanced between poll and kill;
+                # re-read what actually survived on disk.
+                killed_at = checkpoint_round(store)
+                break
+            if process.poll() is not None:
+                fail("sweep finished before it could be killed mid-cell; "
+                     f"raise ROUNDS (> {ROUNDS}).\n{process.stdout.read()}")
+            time.sleep(0.02)
+        else:
+            process.kill()
+            fail("no round checkpoint appeared within 120s")
+        if killed_at is None or not KILL_AFTER_ROUND <= killed_at < ROUNDS:
+            fail(f"expected a mid-cell checkpoint in [{KILL_AFTER_ROUND}, "
+                 f"{ROUNDS}), found {killed_at}")
+        if list((store / "cells").glob("*.json")):
+            fail("killed sweep must not have persisted its cell record")
+        print(f"OK: sweep SIGKILLed mid-cell with a round-{killed_at} checkpoint")
+
+        # 3. Relaunch: resume mid-cell, recompute only the remaining rounds.
+        out = run_cli("sweep", "--round-checkpoints",
+                      "--runs-dir", str(store), *GRID_ARGS)
+        match = RESUME_PATTERN.search(out)
+        if not match:
+            fail(f"resumed sweep printed no mid-cell resume line:\n{out}")
+        resumed_at = int(match.group(1))
+        if resumed_at != killed_at:
+            fail(f"resumed at round {resumed_at}, but the surviving "
+                 f"checkpoint was at round {killed_at}")
+        recomputed = len(ROUND_LINE_PATTERN.findall(out))
+        if recomputed != ROUNDS - resumed_at:
+            fail(f"expected exactly {ROUNDS - resumed_at} recomputed rounds "
+                 f"({ROUNDS} total - {resumed_at} checkpointed), counted "
+                 f"{recomputed} round lines:\n{out}")
+        if "executed=1" not in out:
+            fail(f"resumed sweep did not execute the pending cell:\n{out}")
+        print(f"OK: resumed at round {resumed_at}, recomputed only the "
+              f"remaining {recomputed} rounds")
+
+        # 4. Bitwise identity with the uninterrupted run, checkpoint cleanup,
+        #    and report stability.
+        store_cells = sorted((store / "cells").glob("*.json"))
+        if [p.name for p in store_cells] != [p.name for p in reference_cells]:
+            fail(f"cell sets differ: {[p.name for p in store_cells]} vs "
+                 f"{[p.name for p in reference_cells]}")
+        for resumed_path, reference_path in zip(store_cells, reference_cells):
+            if resumed_path.read_bytes() != reference_path.read_bytes():
+                fail(f"cell {resumed_path.name} differs between the killed-"
+                     "and-resumed store and the uninterrupted reference")
+        leftovers = [p for p in store.glob("checkpoints/*") if p.is_dir()]
+        if leftovers:
+            fail(f"checkpoints not cleaned up after cell completion: {leftovers}")
+        report = run_cli("report", "--runs-dir", str(store), *GRID_ARGS)
+        reference_report = run_cli("report", "--runs-dir", str(reference),
+                                   *GRID_ARGS)
+        if report != reference_report:
+            fail("resumed store renders a different report than the reference")
+        print("OK: resumed store is byte-identical to the uninterrupted "
+              "reference (cells and report); checkpoints cleaned up")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,6 +54,35 @@ class Scaffold(SupervisedFL):
         }
         return state
 
+    def server_state(self) -> dict:
+        """The server control variate ``c`` (round-level checkpointing).
+
+        ``_param_names`` is re-derivable (it is set by
+        ``build_global_state``), so only the control itself ships.
+        """
+        if self._server_control is None:
+            return {}
+        return {"server_control": clone_state(self._server_control)}
+
+    def load_server_state(self, state: dict) -> None:
+        if not state:
+            return
+        control = state["server_control"]
+        if self._param_names is not None:
+            # The checkpoint must cover exactly the live model's trainable
+            # parameters — a missing or extra name means it was taken
+            # against a different architecture, and silently adopting its
+            # key set would corrupt every subsequent control update.
+            missing = [name for name in self._param_names if name not in control]
+            extra = [name for name in control if name not in self._param_names]
+            if missing or extra:
+                raise ValueError(
+                    "checkpointed SCAFFOLD control does not match the model: "
+                    f"missing={missing[:3]}{'...' if len(missing) > 3 else ''} "
+                    f"extra={extra[:3]}{'...' if len(extra) > 3 else ''}")
+        self._server_control = clone_state(control)
+        self._param_names = list(control)
+
     def _client_control(self, client: ClientData) -> StateDict:
         key = f"{self.name}/control"
         if key not in client.store:

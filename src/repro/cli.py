@@ -40,6 +40,7 @@ from .eval import (
     NonIIDSetting,
     available_methods,
     format_ablation_table,
+    format_across_seeds_table,
     format_comparison_table,
     format_series_csv,
     run_experiment,
@@ -54,6 +55,7 @@ from .experiments import (
     run_fig3_panel,
     run_fig4_panel,
     run_table1,
+    table1_rows_across_seeds,
     table1_rows_from_records,
     table1_sweep,
     scaled_spec,
@@ -134,6 +136,20 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--out", default=None, metavar="PATH",
                             help="persist the full ExperimentOutcome as JSON "
                                  "(same serializer as the sweep run store)")
+    run_parser.add_argument("--checkpoints", default=None, metavar="DIR",
+                            help="write a round-level session checkpoint per "
+                                 "method under DIR (atomic, one file per "
+                                 "method, overwritten each round)")
+    run_parser.add_argument("--resume", action="store_true",
+                            help="resume each method from its checkpoint in "
+                                 "--checkpoints if one exists; only the "
+                                 "remaining rounds recompute and the result "
+                                 "is bitwise identical to an uninterrupted run")
+    run_parser.add_argument("--checkpoint-every", type=int, default=1,
+                            metavar="K",
+                            help="checkpoint after every K-th round "
+                                 "(default: 1; larger K trades at most K-1 "
+                                 "recomputed rounds for less write I/O)")
 
     fig3_parser = sub.add_parser("fig3", help="regenerate one Fig. 3 panel")
     fig3_parser.add_argument("--panel", type=int, default=0,
@@ -169,6 +185,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--max-cells", type=int, default=None,
                               help="execute at most N pending cells this pass "
                                    "(budgeted/smoke runs); the rest defer")
+    sweep_parser.add_argument("--round-checkpoints", action="store_true",
+                              help="checkpoint in-flight cells per round under "
+                                   "<runs-dir>/checkpoints/; a killed sweep "
+                                   "resumes mid-cell from the last finished "
+                                   "round instead of restarting the cell")
+    sweep_parser.add_argument("--checkpoint-every", type=int, default=1,
+                              metavar="K",
+                              help="with --round-checkpoints: checkpoint "
+                                   "after every K-th round (default: 1)")
     sweep_parser.add_argument("--quiet", action="store_true",
                               help="suppress per-cell progress lines")
 
@@ -180,6 +205,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sweep_grid_arguments(report_parser)
     report_parser.add_argument("--csv", action="store_true",
                                help="also print the CSV series (fig3/fig4)")
+    report_parser.add_argument("--across-seeds", action="store_true",
+                               help="collapse the seed axis into mean ± std "
+                                    "rows instead of printing one table per "
+                                    "seed")
+    report_parser.add_argument("--timings", action="store_true",
+                               help="also print per-cell wall-clock (and "
+                                    "mean per-round time) recorded in the "
+                                    "store's index.jsonl")
 
     return parser
 
@@ -211,6 +244,13 @@ def _command_run(args) -> int:
     if args.workers is not None and args.workers < 1:
         print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
+    if args.resume and not args.checkpoints:
+        print("--resume requires --checkpoints DIR", file=sys.stderr)
+        return 2
+    if args.checkpoint_every < 1:
+        print(f"--checkpoint-every must be >= 1, got {args.checkpoint_every}",
+              file=sys.stderr)
+        return 2
     config = SCALED_CONFIG.with_overrides(
         rounds=args.rounds, num_clients=args.clients,
         clients_per_round=min(SCALED_CONFIG.clients_per_round, args.clients),
@@ -225,7 +265,18 @@ def _command_run(args) -> int:
         config=config,
         name=f"{args.dataset} {args.setting}({args.param}, {args.samples})",
     )
-    outcome = run_experiment(spec, verbose=True)
+    try:
+        outcome = run_experiment(spec, verbose=True,
+                                 checkpoint_dir=args.checkpoints,
+                                 resume=args.resume,
+                                 checkpoint_every=args.checkpoint_every)
+    except ValueError as error:
+        if not args.resume:
+            raise
+        # A stale checkpoint from different settings must fail loudly but
+        # cleanly: the session refuses the restore by context fingerprint.
+        print(f"resume failed: {error}", file=sys.stderr)
+        return 1
     print()
     print(format_comparison_table(outcome, title=spec.name))
     if args.csv:
@@ -293,10 +344,16 @@ def _grid_flags(args) -> str:
 
 
 def _command_sweep(args) -> int:
+    if args.checkpoint_every < 1:
+        print(f"--checkpoint-every must be >= 1, got {args.checkpoint_every}",
+              file=sys.stderr)
+        return 2
     sweep = _build_sweep(args)
     store = RunStore(args.runs_dir)
     summary = run_sweep(sweep, store=store, backend=args.scheduler,
                         workers=args.jobs, max_cells=args.max_cells,
+                        round_checkpoints=args.round_checkpoints,
+                        checkpoint_every=args.checkpoint_every,
                         verbose=not args.quiet)
     print(summary.describe())
     print(f"store: {store.root} ({len(store)} cells)")
@@ -308,6 +365,67 @@ def _command_sweep(args) -> int:
 
 def _report_title(base: str, seed: int, many_seeds: bool) -> str:
     return f"{base} [seed {seed}]" if many_seeds else base
+
+
+def _print_timings(store: RunStore, cells) -> None:
+    """Render the per-cell wall-clock block (``repro report --timings``).
+
+    Timings are index-only diagnostics: cells swept before timing existed
+    (or re-indexed from records alone) simply have none recorded.
+    """
+    timings = store.timings()
+    print("cell timings (from index.jsonl):")
+    totals = []
+    rows_missing = 0
+    for key in cells:
+        timing = timings.get(key.fingerprint)
+        if timing is None:
+            rows_missing += 1
+            continue
+        wall = timing.get("wall_clock_s")
+        per_round = timing.get("mean_round_s")
+        totals.append(wall)
+        per_round_text = f" ({per_round:8.3f}s/round)" if per_round else ""
+        print(f"  {key.fingerprint}  {wall:9.3f}s{per_round_text}  {key.label()}")
+    if totals:
+        print(f"  total {sum(totals):.3f}s over {len(totals)} cells, "
+              f"mean {sum(totals) / len(totals):.3f}s/cell")
+    if rows_missing:
+        print(f"  ({rows_missing} cell(s) have no recorded timing)")
+
+
+def _across_seeds_pairs(cells, records, novel: bool = False):
+    """method → per-seed (mean, variance) pairs, in the grid's seed order."""
+    per_method = {}
+    report_key = "novel_report" if novel else "report"
+    for key, record in zip(cells, records):
+        report = record.get(report_key)
+        if report is None:
+            continue
+        per_method.setdefault(key.method, []).append(
+            (report["mean"], report["variance"]))
+    return per_method
+
+
+def _report_across_seeds(args, cells, records) -> int:
+    seeds_label = f"[across seeds {' '.join(str(s) for s in args.seeds)}]"
+    if args.exp == "table1":
+        rows = table1_rows_across_seeds(
+            cells, records, variants=args.methods or TABLE1_VARIANTS,
+            seeds=args.seeds)
+        print(format_ablation_table(rows, title=f"Table I {seeds_label}"))
+        return 0
+    panels = FIG3_PANELS if args.exp == "fig3" else FIG4_PANELS
+    dataset, paper_label, _setting = panels[args.panel]
+    name = f"{args.exp}-panel{args.panel} {dataset} paper:{paper_label}"
+    print(format_across_seeds_table(_across_seeds_pairs(cells, records),
+                                    title=f"{name} {seeds_label}"))
+    novel_pairs = _across_seeds_pairs(cells, records, novel=True)
+    if novel_pairs:
+        print()
+        print(format_across_seeds_table(
+            novel_pairs, title=f"{name} [novel] {seeds_label}"))
+    return 0
 
 
 def _command_report(args) -> int:
@@ -328,6 +446,12 @@ def _command_report(args) -> int:
             print(f"  ... and {len(missing) - 10} more", file=sys.stderr)
         return 1
     records = store.load_records(cells)
+    if args.across_seeds:
+        status = _report_across_seeds(args, cells, records)
+        if args.timings:
+            print()
+            _print_timings(store, cells)
+        return status
     many_seeds = len(args.seeds) > 1
     first = True
     for seed in args.seeds:
@@ -355,6 +479,9 @@ def _command_report(args) -> int:
                 title=_report_title(spec.name + " [novel]", seed, many_seeds)))
         if args.csv:
             print(format_series_csv(outcome))
+    if args.timings:
+        print()
+        _print_timings(store, cells)
     return 0
 
 

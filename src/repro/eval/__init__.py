@@ -5,15 +5,22 @@ from .harness import (
     ExperimentOutcome,
     ExperimentSpec,
     NonIIDSetting,
+    checkpoint_path_for,
     make_dataset,
     make_encoder_factory,
     make_partitions,
     run_experiment,
 )
 from .metrics import FairnessReport, accuracy_variance, fairness_report, mean_accuracy
-from .registry import METHOD_BUILDERS, available_methods, build_method
+from .registry import (
+    METHOD_BUILDERS,
+    available_methods,
+    build_method,
+    valid_overrides,
+)
 from .reporting import (
     format_ablation_table,
+    format_across_seeds_table,
     format_comparison_table,
     format_report_table,
     format_series_csv,
@@ -35,8 +42,11 @@ __all__ = [
     "METHOD_BUILDERS",
     "available_methods",
     "build_method",
+    "valid_overrides",
+    "checkpoint_path_for",
     "format_comparison_table",
     "format_report_table",
     "format_ablation_table",
+    "format_across_seeds_table",
     "format_series_csv",
 ]

@@ -9,8 +9,9 @@ leaks between methods) and returns comparable summaries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -24,13 +25,15 @@ from ..data.synthetic import (
 from ..fl.client import build_federation, build_novel_clients
 from ..fl.config import FederatedConfig
 from ..fl.history import RunResult
-from ..fl.server import FederatedServer
+from ..fl.session import RoundCheckpointer, TrainingSession
+from ..ioutil import safe_filename
 from ..nn import MLPEncoder, SmallConvEncoder, resnet9, resnet18
 from .metrics import FairnessReport, fairness_report
 from .registry import build_method
 
 __all__ = ["NonIIDSetting", "ExperimentSpec", "ExperimentOutcome", "run_experiment",
-           "make_dataset", "make_encoder_factory", "make_partitions", "EncoderSpec"]
+           "make_dataset", "make_encoder_factory", "make_partitions", "EncoderSpec",
+           "checkpoint_path_for"]
 
 DATASET_FACTORIES = {
     "cifar10": make_cifar10_like,
@@ -176,14 +179,68 @@ class ExperimentOutcome:
         ]
 
 
+def checkpoint_path_for(checkpoint_dir: Union[str, Path], method: str) -> Path:
+    """Where ``run_experiment`` checkpoints ``method`` under ``checkpoint_dir``."""
+    return Path(checkpoint_dir) / f"{safe_filename(method)}.json"
+
+
+def _spec_context(spec: ExperimentSpec, method_name: str) -> str:
+    """The session-context fingerprint for one method of a spec.
+
+    Everything that determines the method's result goes in (the same
+    philosophy as a :class:`~repro.runs.spec.RunKey` fingerprint, minus
+    the execution knobs), so ``--resume`` against a checkpoint from a
+    different dataset/setting/config/override grid fails loudly in
+    ``TrainingSession.restore_state`` instead of silently reporting the
+    stale run.
+    """
+    import hashlib
+    import json
+
+    config = {name: value for name, value in asdict(spec.config).items()
+              if name not in ("backend", "workers", "shared_memory")}
+    payload = {
+        "dataset": spec.dataset,
+        "setting": [spec.setting.kind, float(spec.setting.parameter),
+                    int(spec.setting.samples_per_client)],
+        "config": config,
+        "method": method_name,
+        "overrides": spec.method_overrides.get(method_name, {}),
+        "encoder": [spec.encoder, int(spec.encoder_width),
+                    [int(dim) for dim in spec.encoder_hidden_dims]],
+        "dataset_kwargs": spec.dataset_kwargs,
+        "seed": int(spec.seed),
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True, default=repr).encode()).hexdigest()
+    return digest[:16]
+
+
 def run_experiment(spec: ExperimentSpec, verbose: bool = False,
                    backend: Optional[str] = None,
-                   workers: Optional[int] = None) -> ExperimentOutcome:
+                   workers: Optional[int] = None,
+                   checkpoint_dir: Union[str, Path, None] = None,
+                   resume: bool = False,
+                   checkpoint_every: int = 1,
+                   session_hook: Optional[Callable[[str, TrainingSession], None]]
+                   = None) -> ExperimentOutcome:
     """Run every method of ``spec`` on identical data partitions.
 
     ``backend``/``workers`` override the spec's execution engine (see
     :mod:`repro.fl.execution`); results are identical across backends, only
     wall-clock time changes.
+
+    ``checkpoint_dir`` enables round-level checkpointing: each method's
+    :class:`~repro.fl.session.TrainingSession` writes its serialized
+    :class:`~repro.fl.session.ServerState` to
+    ``<checkpoint_dir>/<method>.json`` (atomically) every
+    ``checkpoint_every`` completed rounds.  With ``resume=True`` an
+    existing checkpoint is loaded first, so a killed run recomputes only
+    the remaining rounds — and, because resume is bitwise exact, returns
+    the same outcome the uninterrupted run would have.  ``session_hook``
+    receives ``(method_name, session)`` right before training starts —
+    the seam for attaching custom callbacks (eval cadence, early
+    stopping, history streaming).
     """
     if backend is not None or workers is not None:
         spec = replace(spec, config=spec.config.with_overrides(
@@ -225,9 +282,20 @@ def run_experiment(spec: ExperimentSpec, verbose: bool = False,
             method_name, spec.config, dataset.num_classes, encoder_factory,
             **spec.method_overrides.get(method_name, {}),
         )
-        server = FederatedServer(algorithm, clients, spec.config,
-                                 novel_clients=novel_clients, verbose=verbose)
-        result = server.run()
+        session = TrainingSession(algorithm, clients, spec.config,
+                                  novel_clients=novel_clients, verbose=verbose,
+                                  context=_spec_context(spec, method_name))
+        if checkpoint_dir is not None:
+            path = checkpoint_path_for(checkpoint_dir, method_name)
+            if resume and path.is_file():
+                session.load_checkpoint(path)
+                if verbose and session.round_index > 0:
+                    print(f"  [resume] {method_name} at round "
+                          f"{session.round_index}/{spec.config.rounds}")
+            session.add_callback(RoundCheckpointer(path, every=checkpoint_every))
+        if session_hook is not None:
+            session_hook(method_name, session)
+        result = session.execute()
         results[method_name] = result
         reports[method_name] = fairness_report(result.accuracy_vector())
         if result.novel_accuracies:

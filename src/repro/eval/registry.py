@@ -16,7 +16,8 @@ so experiment harnesses and benchmarks select methods with plain strings:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import inspect
+from typing import Callable, Dict, FrozenSet, List
 
 from ..baselines import (
     APFL,
@@ -34,17 +35,22 @@ from ..baselines import (
 )
 from ..core import Calibre
 from ..fl.algorithm import FederatedAlgorithm
-from ..fl.config import FederatedConfig
+from ..fl.config import FederatedConfig, suggest_unknown_keys
 
-__all__ = ["METHOD_BUILDERS", "available_methods", "build_method"]
+__all__ = ["METHOD_BUILDERS", "available_methods", "build_method",
+           "valid_overrides"]
 
 _SSL_VARIANTS = ("simclr", "byol", "simsiam", "mocov2", "swav", "smog")
 
 
 def _supervised(ctor, **fixed):
+    # ``fixed`` values are defaults here, not reservations: the builder
+    # merges overrides *over* them, so they stay user-overridable.
     def build(config, num_classes, encoder_factory, **overrides):
         return ctor(config, num_classes, encoder_factory, **{**fixed, **overrides})
 
+    build.algorithm_class = ctor
+    build.fixed_overrides = frozenset()
     return build
 
 
@@ -52,6 +58,8 @@ def _script(convergent: bool):
     def build(config, num_classes, encoder_factory, **overrides):
         return ScriptLocal(config, num_classes, convergent=convergent, **overrides)
 
+    build.algorithm_class = ScriptLocal
+    build.fixed_overrides = frozenset({"convergent"})
     return build
 
 
@@ -60,6 +68,8 @@ def _pfl_ssl(ssl_name: str):
         return PFLSSL(config, num_classes, encoder_factory, ssl_name=ssl_name,
                       **overrides)
 
+    build.algorithm_class = PFLSSL
+    build.fixed_overrides = frozenset({"ssl_name"})
     return build
 
 
@@ -68,6 +78,8 @@ def _calibre(ssl_name: str):
         return Calibre(config, num_classes, encoder_factory, ssl_name=ssl_name,
                        **overrides)
 
+    build.algorithm_class = Calibre
+    build.fixed_overrides = frozenset({"ssl_name"})
     return build
 
 
@@ -96,6 +108,52 @@ def available_methods() -> List[str]:
     return sorted(METHOD_BUILDERS)
 
 
+# Constructor parameters that the builder itself supplies — never valid as
+# user overrides.
+_RESERVED_PARAMS = frozenset({"self", "config", "num_classes", "encoder_factory"})
+
+
+def _init_keyword_names(cls) -> FrozenSet[str]:
+    """All keyword names accepted along ``cls``'s ``__init__`` MRO chain.
+
+    Walks base classes only while the current ``__init__`` forwards
+    ``**kwargs`` upward (e.g. ``Calibre`` → ``PFLSSL``), so the result is
+    exactly what a keyword argument can reach.
+    """
+    names = set()
+    for klass in cls.__mro__:
+        init = klass.__dict__.get("__init__")
+        if init is None:
+            continue
+        parameters = inspect.signature(init).parameters.values()
+        names.update(
+            parameter.name for parameter in parameters
+            if parameter.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                                  inspect.Parameter.KEYWORD_ONLY)
+            and parameter.name not in _RESERVED_PARAMS
+        )
+        if not any(parameter.kind is inspect.Parameter.VAR_KEYWORD
+                   for parameter in parameters):
+            break
+    return frozenset(names)
+
+
+def valid_overrides(name: str) -> FrozenSet[str]:
+    """The override keywords ``build_method(name, ...)`` accepts.
+
+    Constructor parameters the builder itself pins (``ssl_name`` for the
+    pfl-*/calibre-* registrations, ``convergent`` for the script
+    controls) are excluded: the registry *name* selects them, so passing
+    one would otherwise die as a duplicate-keyword ``TypeError`` deep in
+    the constructor.
+    """
+    key = name.lower()
+    if key not in METHOD_BUILDERS:
+        raise KeyError(f"unknown method '{name}'; available: {available_methods()}")
+    builder = METHOD_BUILDERS[key]
+    return _init_keyword_names(builder.algorithm_class) - builder.fixed_overrides
+
+
 def build_method(
     name: str,
     config: FederatedConfig,
@@ -103,8 +161,21 @@ def build_method(
     encoder_factory,
     **overrides,
 ) -> FederatedAlgorithm:
-    """Construct a registered algorithm by name."""
+    """Construct a registered algorithm by name.
+
+    Unknown override keywords are rejected up front with a did-you-mean
+    hint (the valid set is derived from the algorithm's ``__init__``
+    chain), instead of surfacing as a ``TypeError`` from deep inside the
+    constructor — or worse, silently changing nothing.
+    """
     key = name.lower()
     if key not in METHOD_BUILDERS:
         raise KeyError(f"unknown method '{name}'; available: {available_methods()}")
+    if overrides:
+        valid = valid_overrides(key)
+        unknown = set(overrides) - valid
+        if unknown:
+            raise TypeError(
+                suggest_unknown_keys(unknown, valid,
+                                     f"override(s) for method '{name}'"))
     return METHOD_BUILDERS[key](config, num_classes, encoder_factory, **overrides)

@@ -2,13 +2,15 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from .harness import ExperimentOutcome
 from .metrics import FairnessReport
 
 __all__ = ["format_comparison_table", "format_report_table", "format_ablation_table",
-           "format_series_csv"]
+           "format_series_csv", "format_across_seeds_table"]
 
 
 def format_report_table(reports: Dict[str, FairnessReport], title: str) -> str:
@@ -65,6 +67,37 @@ def format_ablation_table(rows: Sequence[Dict], title: str = "Table I") -> str:
             cells.append(f"{100 * mean:10.2f} ± {100 * std:5.2f}".rjust(24))
         lines.append(f"{_toggle_mark(row['ln'])}{_toggle_mark(row['lp'])}  "
                      + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def format_across_seeds_table(per_method: Dict[str, List[Tuple[float, float]]],
+                              title: str) -> str:
+    """Multi-seed aggregation: collapse seeds into mean ± std rows.
+
+    ``per_method`` maps each method to its per-seed ``(mean_accuracy,
+    accuracy_variance)`` pairs; the rendered row reports the across-seed
+    mean ± std of both columns (the Cali3F-style presentation).  Stds are
+    population stds (``ddof=0``), matching the paper's fairness variance
+    convention, so a single seed renders ``± 0.0000`` rather than NaN.
+    Methods sort by across-seed mean accuracy, best first.
+    """
+    if not per_method:
+        raise ValueError("no methods to aggregate")
+    lines = [title,
+             f"{'method':22s} {'mean':>8s} {'±std':>8s} "
+             f"{'variance':>10s} {'±std':>10s} {'seeds':>6s}"]
+    aggregated = {
+        name: (np.asarray([m for m, _ in pairs], dtype=np.float64),
+               np.asarray([v for _, v in pairs], dtype=np.float64))
+        for name, pairs in per_method.items()
+    }
+    for name in sorted(aggregated, key=lambda m: -float(aggregated[m][0].mean())):
+        means, variances = aggregated[name]
+        lines.append(
+            f"{name:22s} {means.mean():8.4f} {means.std():8.4f} "
+            f"{variances.mean():10.5f} {variances.std():10.5f} "
+            f"{means.size:6d}"
+        )
     return "\n".join(lines)
 
 

@@ -17,6 +17,7 @@ from .table1 import (
     TABLE1_TOGGLES,
     TABLE1_VARIANTS,
     run_table1,
+    table1_rows_across_seeds,
     table1_rows_from_records,
     table1_sweep,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "run_table1",
     "table1_sweep",
     "table1_rows_from_records",
+    "table1_rows_across_seeds",
     "TABLE1_VARIANTS",
     "TABLE1_TOGGLES",
     "TABLE1_SETTING",

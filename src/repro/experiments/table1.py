@@ -25,6 +25,7 @@ from ..runs import RunKey, SweepSpec, SweepVariant, run_sweep
 from .settings import SCALED_CONFIG, SCALED_DATASET_KWARGS
 
 __all__ = ["run_table1", "table1_sweep", "table1_rows_from_records",
+           "table1_rows_across_seeds",
            "TABLE1_VARIANTS", "TABLE1_TOGGLES", "TABLE1_SETTING"]
 
 TABLE1_VARIANTS = ("calibre-simclr", "calibre-swav", "calibre-smog")
@@ -93,6 +94,43 @@ def table1_rows_from_records(
                 raise KeyError(f"no record for cell (seed={seed}, {label}, {method}); "
                                "run the sweep to completion first")
             results[method] = (record["report"]["mean"], record["report"]["std"])
+        rows.append({"ln": use_ln, "lp": use_lp, "results": results})
+    return rows
+
+
+def table1_rows_across_seeds(
+    cells: Sequence[RunKey],
+    records: Sequence[Optional[Dict]],
+    variants: Sequence[str] = TABLE1_VARIANTS,
+    seeds: Sequence[int] = (0,),
+) -> List[Dict]:
+    """Table I rows collapsed across seeds: mean ± std of per-seed means.
+
+    Where :func:`table1_rows_from_records` renders one seed's accuracy
+    mean ± std *across clients*, this renders the across-*seed* mean ±
+    population std of each cell's mean accuracy (the Cali3F-style
+    multi-seed presentation).  Every ``(seed, toggle, method)`` cell must
+    be present.
+    """
+    import numpy as np
+
+    by_coordinate = {(key.seed, key.variant, key.method): record
+                     for key, record in zip(cells, records)}
+    rows: List[Dict] = []
+    for use_ln, use_lp in TABLE1_TOGGLES:
+        label = _toggle_variant(use_ln, use_lp).label
+        results: Dict[str, Tuple[float, float]] = {}
+        for method in variants:
+            means = []
+            for seed in seeds:
+                record = by_coordinate.get((seed, label, method))
+                if record is None:
+                    raise KeyError(
+                        f"no record for cell (seed={seed}, {label}, {method}); "
+                        "run the sweep over every seed first")
+                means.append(record["report"]["mean"])
+            means = np.asarray(means, dtype=np.float64)
+            results[method] = (float(means.mean()), float(means.std()))
         rows.append({"ln": use_ln, "lp": use_lp, "results": results})
     return rows
 

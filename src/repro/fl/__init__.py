@@ -6,7 +6,7 @@ sampling, aggregation, metric history, and the shared linear-probe
 personalization stage.
 """
 
-from .algorithm import ClientUpdate, FederatedAlgorithm
+from .algorithm import ClientUpdate, FederatedAlgorithm, UpdateAccumulator
 from .client import (
     ClientData,
     build_federation,
@@ -35,6 +35,17 @@ from .personalization import (
 )
 from .sampler import RandomSampler, RoundRobinSampler
 from .server import FederatedServer
+from .session import (
+    EarlyStopping,
+    EvalCadence,
+    HistoryStreamer,
+    RoundCheckpointer,
+    ServerState,
+    SessionCallback,
+    TrainingSession,
+    read_checkpoint,
+    write_checkpoint,
+)
 
 __all__ = [
     "FederatedConfig",
@@ -46,7 +57,17 @@ __all__ = [
     "payload_nbytes",
     "ClientUpdate",
     "FederatedAlgorithm",
+    "UpdateAccumulator",
     "FederatedServer",
+    "TrainingSession",
+    "ServerState",
+    "SessionCallback",
+    "HistoryStreamer",
+    "EvalCadence",
+    "EarlyStopping",
+    "RoundCheckpointer",
+    "read_checkpoint",
+    "write_checkpoint",
     "ExecutionBackend",
     "ExecutionError",
     "SerialBackend",

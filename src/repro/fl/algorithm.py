@@ -26,7 +26,7 @@ from .client import ClientData, derive_rng
 from .config import FederatedConfig
 from .personalization import PersonalizationResult, train_linear_probe
 
-__all__ = ["ClientUpdate", "FederatedAlgorithm"]
+__all__ = ["ClientUpdate", "FederatedAlgorithm", "UpdateAccumulator"]
 
 
 @dataclass
@@ -42,6 +42,55 @@ class ClientUpdate:
     weight: float
     metrics: Dict[str, float] = field(default_factory=dict)
     payload: Dict[str, object] = field(default_factory=dict)
+
+
+class UpdateAccumulator:
+    """Consumes client updates as they complete; combines at finalize.
+
+    The :class:`~repro.fl.session.TrainingSession` feeds this object from
+    an iterator of completed futures (``ExecutionBackend.imap_clients``),
+    so per-update work in :meth:`ingest` overlaps with still-running
+    clients instead of waiting for the round barrier — the seam future
+    async-aggregation strategies plug into.
+
+    The final combine runs over updates reordered into *input* (dispatch)
+    order, never completion order: floating-point reduction is
+    order-sensitive, and reordering is what keeps serial, thread, and
+    process backends bitwise identical (the determinism contract of
+    :mod:`repro.fl.execution`).
+    """
+
+    def __init__(self, algorithm: "FederatedAlgorithm", global_state: StateDict,
+                 round_index: int):
+        self.algorithm = algorithm
+        self.global_state = global_state
+        self.round_index = round_index
+        self._slots: Dict[int, ClientUpdate] = {}
+
+    def add(self, index: int, update: ClientUpdate) -> None:
+        """Accept the update of input position ``index`` (completion order)."""
+        if index in self._slots:
+            raise ValueError(f"duplicate update for input position {index}")
+        self._slots[index] = update
+        self.ingest(update)
+
+    def ingest(self, update: ClientUpdate) -> None:
+        """Eager per-update hook, called in completion order.
+
+        The default does nothing; algorithms override it to start
+        order-insensitive work (cloning, divergence statistics, delta
+        precomputation) before the round barrier.
+        """
+
+    def finalize(self) -> StateDict:
+        """Combine all accepted updates into the next global state."""
+        ordered = [self._slots[index] for index in sorted(self._slots)]
+        return self.algorithm.aggregate(ordered, self.global_state,
+                                        self.round_index)
+
+    def updates_in_order(self) -> Sequence[ClientUpdate]:
+        """Accepted updates in input (dispatch) order."""
+        return [self._slots[index] for index in sorted(self._slots)]
 
 
 class FederatedAlgorithm:
@@ -98,6 +147,44 @@ class FederatedAlgorithm:
             batch_size=config.personalization_batch_size,
             rng=rng,
         )
+
+    def make_aggregator(self, global_state: StateDict,
+                        round_index: int) -> UpdateAccumulator:
+        """Build this round's update consumer (see :class:`UpdateAccumulator`).
+
+        The default buffers updates and calls :meth:`aggregate` over them
+        in input order at finalize — bitwise identical to the classic
+        barriered round loop.  Algorithms with order-insensitive
+        aggregation can return an accumulator that does real work in
+        ``ingest`` instead.
+        """
+        return UpdateAccumulator(self, global_state, round_index)
+
+    # ------------------------------------------------------------------
+    # Server-side state (round-level checkpointing)
+    # ------------------------------------------------------------------
+    def server_state(self) -> Dict:
+        """Snapshot of all server-side state this algorithm mutates across
+        rounds (beyond the global model, which the session owns).
+
+        The returned dict must be a *copy* (checkpoints must not alias
+        live arrays) and must survive the exact-JSON codec of
+        :mod:`repro.fl.session.codec`: nested dicts/lists/tuples of numpy
+        arrays and plain scalars.  Stateless algorithms return ``{}``.
+        """
+        return {}
+
+    def load_server_state(self, state: Dict) -> None:
+        """Restore a :meth:`server_state` snapshot.
+
+        Called after :meth:`build_global_state` has re-initialized the
+        algorithm's internal slots, so implementations may assume the
+        same post-init invariants as round 0.
+        """
+        if state:
+            raise ValueError(
+                f"algorithm '{self.name}' keeps no server-side state but the "
+                f"checkpoint carries keys {sorted(state)}")
 
     def rng_for(self, client: ClientData, round_index: int) -> np.random.Generator:
         """Per-(seed, round, client) generator.

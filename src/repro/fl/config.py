@@ -9,8 +9,28 @@ without changing any code path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Optional
+import difflib
+from dataclasses import dataclass, fields, replace
+from typing import Iterable, Optional
+
+
+def suggest_unknown_keys(unknown: Iterable[str], valid: Iterable[str],
+                         kind: str) -> str:
+    """A did-you-mean message for unknown keyword names.
+
+    Shared by :meth:`FederatedConfig.with_overrides` and
+    :func:`repro.eval.registry.build_method`, so every knob surface in the
+    stack rejects typos the same way instead of passing them silently into
+    ``**kwargs``.
+    """
+    valid = sorted(valid)
+    parts = []
+    for name in sorted(unknown):
+        close = difflib.get_close_matches(name, valid, n=2, cutoff=0.5)
+        hint = f" (did you mean {' or '.join(repr(c) for c in close)}?)" if close else ""
+        parts.append(f"{name!r}{hint}")
+    return (f"unknown {kind}: {', '.join(parts)}; "
+            f"valid names: {', '.join(valid)}")
 
 
 @dataclass(frozen=True)
@@ -85,7 +105,18 @@ class FederatedConfig:
             )
 
     def with_overrides(self, **kwargs) -> "FederatedConfig":
-        """Return a copy with fields replaced."""
+        """Return a copy with fields replaced.
+
+        Unknown field names raise ``ValueError`` with a did-you-mean hint
+        instead of the bare ``TypeError`` ``dataclasses.replace`` would
+        produce — a sweep grid with a typo'd knob must fail loudly at
+        declaration, not silently diverge from the intended config.
+        """
+        valid = {f.name for f in fields(self)}
+        unknown = set(kwargs) - valid
+        if unknown:
+            raise ValueError(suggest_unknown_keys(unknown, valid,
+                                                  "FederatedConfig override(s)"))
         return replace(self, **kwargs)
 
 

@@ -44,14 +44,14 @@ import math
 import os
 import pickle
 import warnings
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor, as_completed
 
 try:
     from concurrent.futures.process import BrokenProcessPool
 except ImportError:  # stripped-down builds without _multiprocessing
     class BrokenProcessPool(RuntimeError):
         """Placeholder when concurrent.futures.process cannot import."""
-from typing import Callable, Dict, List, Optional, Sequence, Type
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
@@ -123,6 +123,16 @@ def _run_chunk(task: Callable, chunk: Sequence) -> List:
     return [task(item) for item in chunk]
 
 
+def _chunk_starts(chunks: Sequence[Sequence]) -> List[int]:
+    """Global input index of each contiguous chunk's first item."""
+    starts: List[int] = []
+    position = 0
+    for chunk in chunks:
+        starts.append(position)
+        position += len(chunk)
+    return starts
+
+
 class ExecutionBackend:
     """Common interface: map a pure task over client payloads, in order."""
 
@@ -141,6 +151,26 @@ class ExecutionBackend:
     def map_clients(self, task: Callable, items: Sequence) -> List:
         """Apply ``task`` to each item, returning results in input order."""
         raise NotImplementedError
+
+    def imap_clients(self, task: Callable, items: Sequence
+                     ) -> Iterator[Tuple[int, object]]:
+        """Apply ``task`` to each item, yielding ``(input_index, result)``
+        pairs as results complete.
+
+        This is the streaming counterpart of :meth:`map_clients`: the
+        caller (the session's round loop) can begin consuming updates —
+        writing client stores back, feeding the aggregator — before the
+        whole batch finishes.  Completion order is *not* input order under
+        parallel backends; callers needing determinism must reorder by the
+        yielded index before any order-sensitive reduction (see
+        :class:`~repro.fl.algorithm.UpdateAccumulator`).
+
+        The base implementation evaluates lazily in input order, which is
+        exactly right for :class:`SerialBackend`: item ``i``'s result is
+        consumed before item ``i + 1`` even starts.
+        """
+        for index, item in enumerate(items):
+            yield index, task(item)
 
     def register_clients(self, clients: Sequence) -> bool:
         """Opt the clients into this backend's data plane; True when active.
@@ -165,8 +195,8 @@ class ExecutionBackend:
         return f"{type(self).__name__}(workers={self.workers})"
 
     # ------------------------------------------------------------------
-    def _serial_fallback(self, task: Callable, items: Sequence,
-                         cause: BaseException) -> List:
+    def _fallback_guard(self, cause: BaseException, stacklevel: int = 3) -> None:
+        """Raise if fallback is disabled; otherwise warn once per backend."""
         if not self.fallback:
             raise ExecutionError(
                 f"{self.name} backend failed and fallback is disabled: {cause}"
@@ -177,8 +207,12 @@ class ExecutionBackend:
                 f"{self.name} backend unavailable ({type(cause).__name__}: {cause}); "
                 "falling back to serial execution",
                 RuntimeWarning,
-                stacklevel=3,
+                stacklevel=stacklevel + 1,
             )
+
+    def _serial_fallback(self, task: Callable, items: Sequence,
+                         cause: BaseException) -> List:
+        self._fallback_guard(cause)
         return _run_chunk(task, items)
 
 
@@ -217,6 +251,30 @@ class ThreadBackend(ExecutionBackend):
             for future in futures:  # input order, not completion order
                 results.extend(future.result())
         return results
+
+    def imap_clients(self, task: Callable, items: Sequence
+                     ) -> Iterator[Tuple[int, object]]:
+        items = list(items)
+        chunks = chunk_items(items, self.workers, self.chunk_size)
+        if len(chunks) <= 1:
+            yield from super().imap_clients(task, items)
+            return
+        try:
+            replicas = [copy.deepcopy(task) for _ in chunks]
+        except Exception as error:  # unexpected — algorithms are plain containers
+            for index, result in enumerate(self._serial_fallback(task, items, error)):
+                yield index, result
+            return
+        starts = _chunk_starts(chunks)
+        with ThreadPoolExecutor(max_workers=min(self.workers, len(chunks))) as pool:
+            futures = {
+                pool.submit(_run_chunk, replica, chunk): start
+                for replica, chunk, start in zip(replicas, chunks, starts)
+            }
+            for future in as_completed(futures):
+                start = futures[future]
+                for offset, result in enumerate(future.result()):
+                    yield start + offset, result
 
 
 class ProcessBackend(ExecutionBackend):
@@ -323,6 +381,47 @@ class ProcessBackend(ExecutionBackend):
             # must propagate, exactly as it would under SerialBackend.
             self._mark_broken(error)
             return self._serial_fallback(task, items, error)
+
+    def imap_clients(self, task: Callable, items: Sequence
+                     ) -> Iterator[Tuple[int, object]]:
+        items = list(items)
+        if not items:
+            return
+        if self._broken:
+            for index, result in enumerate(
+                    self._serial_fallback(task, items, self._broken_cause)):
+                yield index, result
+            return
+        chunks = chunk_items(items, self.workers, self.chunk_size)
+        starts = _chunk_starts(chunks)
+        try:
+            pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
+            pool = self._ensure_pool()
+            pending = {
+                pool.submit(_run_chunk, task, chunk): (start, chunk)
+                for chunk, start in zip(chunks, starts)
+            }
+        except (pickle.PicklingError, AttributeError, TypeError, ImportError,
+                OSError, PermissionError, RuntimeError, EOFError) as error:
+            self._mark_broken(error)
+            for index, result in enumerate(self._serial_fallback(task, items, error)):
+                yield index, result
+            return
+        try:
+            for future in as_completed(list(pending)):
+                start, _chunk = pending[future]
+                results = future.result()  # may raise BrokenProcessPool
+                del pending[future]
+                for offset, result in enumerate(results):
+                    yield start + offset, result
+        except BrokenProcessPool as error:
+            # Some chunks already streamed out; rerun only the unfinished
+            # ones serially (tasks are pure, so re-execution is safe).
+            self._mark_broken(error)
+            self._fallback_guard(error, stacklevel=2)
+            for start, chunk in pending.values():
+                for offset, result in enumerate(_run_chunk(task, chunk)):
+                    yield start + offset, result
 
 
 BACKENDS: Dict[str, Type[ExecutionBackend]] = {

@@ -1,68 +1,33 @@
-"""The federated server: round loop, aggregation, and the evaluation stage.
+"""``FederatedServer`` — compatibility shim over :class:`TrainingSession`.
 
-Mirrors the experiment protocol of §V-A: train the global model for R
-rounds with a sampled subset of clients per round, then have *all* clients
-— training clients and novel clients alike — download the final global
-model and run the personalization stage.
+The round loop now lives in :mod:`repro.fl.session`: an explicit,
+serializable server state, ``step()``/``run_until()`` advancement, typed
+lifecycle events, and round-level checkpointing.  This class preserves
+the original monolithic surface — ``train()``, ``personalize_all()``,
+``run()``, plus the ``global_state``/``round_records`` attributes — by
+delegating every operation to an owned session.
 
-Both stages dispatch per-client work through a pluggable
-:class:`~repro.fl.execution.ExecutionBackend` (serial, thread pool, or
-process pool).  Tasks are pure: they return the client update *and* the
-client's mutated store, and the server writes both back on the
-coordinating process, so results are identical across backends (see the
-determinism contract in :mod:`repro.fl.execution`).
+New code should construct :class:`~repro.fl.session.TrainingSession`
+directly; see the migration note in the README.
 """
 
 from __future__ import annotations
 
-import functools
-import warnings
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
-
-import numpy as np
+from typing import List, Optional, Sequence, Union
 
 from ..nn.serialize import StateDict
-from .algorithm import ClientUpdate, FederatedAlgorithm
+from .algorithm import FederatedAlgorithm
 from .client import ClientData
 from .config import FederatedConfig
-from .execution import ExecutionBackend, resolve_backend
+from .execution import ExecutionBackend
 from .history import RoundRecord, RunResult
-from .sampler import RandomSampler
+from .session import TrainingSession
 
 __all__ = ["FederatedServer"]
 
 
-@dataclass
-class _ClientOutcome:
-    """What one client task ships back to the coordinator.
-
-    ``store`` carries the client's persistent algorithm state: under the
-    process backend the worker mutates a pickled copy of the client, so the
-    store must travel back explicitly for the server to reattach.
-    """
-
-    client_id: int
-    result: object
-    store: Dict
-
-
-def _local_update_task(algorithm: FederatedAlgorithm, global_state: StateDict,
-                       round_index: int, client: ClientData) -> _ClientOutcome:
-    """One sampled client's round contribution (module-level: picklable)."""
-    update = algorithm.local_update(client, global_state, round_index)
-    return _ClientOutcome(client.client_id, update, client.store)
-
-
-def _personalize_task(algorithm: FederatedAlgorithm, global_state: StateDict,
-                      client: ClientData) -> _ClientOutcome:
-    """One client's personalization stage (module-level: picklable)."""
-    result = algorithm.personalize(client, global_state)
-    return _ClientOutcome(client.client_id, result, client.store)
-
-
 class FederatedServer:
-    """Coordinates one federated run of a given algorithm."""
+    """Coordinates one federated run of a given algorithm (legacy API)."""
 
     def __init__(
         self,
@@ -74,134 +39,72 @@ class FederatedServer:
         backend: Union[ExecutionBackend, str, None] = None,
         verbose: bool = False,
     ):
-        if not clients:
-            raise ValueError("need at least one client")
-        self.algorithm = algorithm
-        self.clients = list(clients)
-        self.novel_clients = list(novel_clients)
-        self.config = config
-        self.sampler = sampler if sampler is not None else RandomSampler(
-            min(config.clients_per_round, len(self.clients)), seed=config.seed
+        self.session = TrainingSession(
+            algorithm,
+            clients,
+            config,
+            novel_clients=novel_clients,
+            sampler=sampler,
+            backend=backend,
+            verbose=verbose,
         )
-        # An explicit backend (instance or name) overrides the config knobs;
-        # the server owns — and closes — only backends it created itself.
-        self._owns_backend = not isinstance(backend, ExecutionBackend)
-        self.backend = resolve_backend(
-            backend if backend is not None else config.backend,
-            workers=config.workers,
-        )
-        self.verbose = verbose
-        self.global_state: Optional[StateDict] = None
-        self.round_records: List[RoundRecord] = []
-        self._warned_non_finite = False
-        # Shared-memory client-data plane (repro.data.shm): with the knob
-        # on (or on auto), ask the backend to move client datasets into a
-        # shared store so per-round pickles ship handles, not arrays.
-        # Serial/thread backends no-op; the process backend degrades
-        # gracefully when shared memory cannot be created here.
-        self.shared_memory_active = False
-        if config.shared_memory is not False:
-            self.shared_memory_active = self.backend.register_clients(
-                self.clients + self.novel_clients
-            )
-            if config.shared_memory is True and not self.shared_memory_active:
-                warnings.warn(
-                    "shared_memory=True requested but the shared-memory data "
-                    "plane could not activate (backend without a data plane, "
-                    "or shared memory unavailable); falling back to inline "
-                    "client pickling",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
 
     # ------------------------------------------------------------------
-    def _dispatch(self, task, clients: Sequence[ClientData]) -> List[_ClientOutcome]:
-        """Map a client task through the backend and reattach stores."""
-        outcomes = self.backend.map_clients(task, clients)
-        for client, outcome in zip(clients, outcomes):
-            client.store = outcome.store
-        return outcomes
+    # Legacy attribute surface (all views over the session)
+    # ------------------------------------------------------------------
+    @property
+    def algorithm(self) -> FederatedAlgorithm:
+        return self.session.algorithm
 
-    def close(self) -> None:
-        """Release execution-backend resources (worker pools)."""
-        self.backend.close()
+    @property
+    def clients(self) -> List[ClientData]:
+        return self.session.clients
+
+    @property
+    def novel_clients(self) -> List[ClientData]:
+        return self.session.novel_clients
+
+    @property
+    def config(self) -> FederatedConfig:
+        return self.session.config
+
+    @property
+    def sampler(self):
+        return self.session.sampler
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        return self.session.backend
+
+    @property
+    def verbose(self) -> bool:
+        return self.session.verbose
+
+    @property
+    def shared_memory_active(self) -> bool:
+        return self.session.shared_memory_active
+
+    @property
+    def global_state(self) -> Optional[StateDict]:
+        return self.session.global_state
+
+    @property
+    def round_records(self) -> List[RoundRecord]:
+        return self.session.round_records
 
     # ------------------------------------------------------------------
     def train(self) -> StateDict:
         """Run the federated training stage and return the final global state."""
-        self.global_state = self.algorithm.build_global_state()
-        for round_index in range(self.config.rounds):
-            participants = self.sampler.sample(self.clients, round_index)
-            task = functools.partial(
-                _local_update_task, self.algorithm, self.global_state, round_index
-            )
-            updates: List[ClientUpdate] = [
-                outcome.result for outcome in self._dispatch(task, participants)
-            ]
-            self.global_state = self.algorithm.aggregate(
-                updates, self.global_state, round_index
-            )
-            # Non-finite client losses (divergence, dead activations) are
-            # excluded from the mean but never silently: they are counted
-            # into the round record and warned about once per run.
-            losses: List[float] = []
-            non_finite = 0
-            for update in updates:
-                value = update.metrics.get("loss")
-                if value is None:
-                    continue
-                if np.isfinite(value):
-                    losses.append(float(value))
-                else:
-                    non_finite += 1
-            if non_finite and not self._warned_non_finite:
-                self._warned_non_finite = True
-                warnings.warn(
-                    f"round {round_index}: {non_finite} client(s) reported a "
-                    "non-finite training loss; they are excluded from "
-                    "mean_loss and counted in RoundRecord.metrics"
-                    "['non_finite_losses']",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-            record = RoundRecord(
-                round_index=round_index,
-                participant_ids=[u.client_id for u in updates],
-                mean_loss=float(np.mean(losses)) if losses else float("nan"),
-                metrics={"non_finite_losses": float(non_finite)},
-            )
-            self.round_records.append(record)
-            if self.verbose:
-                print(
-                    f"[{self.algorithm.name}] round {round_index + 1}/{self.config.rounds} "
-                    f"loss={record.mean_loss:.4f}"
-                )
-        return self.global_state
+        return self.session.run()
 
     def personalize_all(self) -> RunResult:
         """Run the personalization stage on every client (train + novel)."""
-        if self.global_state is None:
-            raise RuntimeError("train() must run before personalize_all()")
-        task = functools.partial(_personalize_task, self.algorithm, self.global_state)
-        everyone = self.clients + self.novel_clients
-        outcomes = self._dispatch(task, everyone)
-        accuracies: Dict[int, float] = {}
-        novel_accuracies: Dict[int, float] = {}
-        for client, outcome in zip(everyone, outcomes):
-            target = novel_accuracies if client.is_novel else accuracies
-            target[client.client_id] = outcome.result.accuracy
-        return RunResult(
-            algorithm=self.algorithm.name,
-            accuracies=accuracies,
-            novel_accuracies=novel_accuracies,
-            rounds=self.round_records,
-        )
+        return self.session.personalize()
 
     def run(self) -> RunResult:
         """Full experiment: training stage then personalization stage."""
-        try:
-            self.train()
-            return self.personalize_all()
-        finally:
-            if self._owns_backend:
-                self.close()
+        return self.session.execute()
+
+    def close(self) -> None:
+        """Release execution-backend resources (worker pools)."""
+        self.session.close()

@@ -1,0 +1,46 @@
+"""``repro.fl.session`` — the composable, checkpointable round-loop API.
+
+:class:`TrainingSession` owns an explicit, serializable
+:class:`ServerState`, advances it via ``step()``/``run_until()``, emits
+typed lifecycle events to registered callbacks, and checkpoints/restores
+at round granularity with bitwise-exact resume.  ``FederatedServer``
+remains as a thin compatibility shim over this package.
+"""
+
+from .callbacks import EarlyStopping, EvalCadence, HistoryStreamer, RoundCheckpointer
+from .codec import decode_value, encode_value
+from .events import (
+    AggregateDone,
+    ClientUpdateDone,
+    EVENT_HOOKS,
+    PersonalizeDone,
+    RoundBegin,
+    RoundEnd,
+    SessionCallback,
+    SessionEvent,
+)
+from .session import TrainingSession, default_session_context
+from .state import CHECKPOINT_SCHEMA, ServerState, read_checkpoint, write_checkpoint
+
+__all__ = [
+    "TrainingSession",
+    "default_session_context",
+    "ServerState",
+    "CHECKPOINT_SCHEMA",
+    "read_checkpoint",
+    "write_checkpoint",
+    "encode_value",
+    "decode_value",
+    "SessionEvent",
+    "RoundBegin",
+    "ClientUpdateDone",
+    "AggregateDone",
+    "RoundEnd",
+    "PersonalizeDone",
+    "SessionCallback",
+    "EVENT_HOOKS",
+    "HistoryStreamer",
+    "EvalCadence",
+    "EarlyStopping",
+    "RoundCheckpointer",
+]

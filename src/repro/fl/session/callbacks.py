@@ -1,0 +1,158 @@
+"""Built-in session callbacks: history streaming, eval cadence, early
+stopping, and round-level checkpointing.
+
+All four are ordinary :class:`~repro.fl.session.events.SessionCallback`
+subclasses — nothing here is privileged, and user callbacks compose with
+them freely.  None of them changes training results: they observe, stop,
+or persist, but never mutate round records or model state.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import IO, Callable, Dict, List, Optional, Tuple, Union
+
+from .events import PersonalizeDone, RoundEnd, SessionCallback
+from .state import write_checkpoint
+
+__all__ = [
+    "HistoryStreamer",
+    "EvalCadence",
+    "EarlyStopping",
+    "RoundCheckpointer",
+]
+
+
+class HistoryStreamer(SessionCallback):
+    """Stream round records (and the final summary) as JSON lines.
+
+    ``target`` is a path — opened in append mode per write, so a crash
+    loses at most the line in flight — or any file-like object with a
+    ``write`` method (handy for tests and in-memory capture).
+    """
+
+    def __init__(self, target: Union[str, Path, IO[str]]):
+        self._path: Optional[Path] = None
+        self._stream: Optional[IO[str]] = None
+        if hasattr(target, "write"):
+            self._stream = target
+        else:
+            self._path = Path(target)
+
+    def _emit_line(self, payload: Dict) -> None:
+        line = json.dumps(payload, sort_keys=True) + "\n"
+        if self._stream is not None:
+            self._stream.write(line)
+            return
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self._path, "a") as stream:
+            stream.write(line)
+
+    def on_round_end(self, session, event: RoundEnd) -> None:
+        self._emit_line({"event": "round", "record": event.record.to_json()})
+
+    def on_personalize_done(self, session, event: PersonalizeDone) -> None:
+        self._emit_line({"event": "result",
+                         "algorithm": event.result.algorithm,
+                         "summary": event.result.summary()})
+
+
+class EvalCadence(SessionCallback):
+    """Run an evaluation function every ``every`` rounds.
+
+    ``evaluate(session)`` returns a metrics dict; results accumulate in
+    :attr:`history` as ``(round_index, metrics)`` pairs.  The cadence
+    counts *completed* rounds, so ``every=5`` evaluates after rounds 4,
+    9, 14, ….  Round records are never mutated — periodic eval must not
+    change what an uninterrupted or resumed run persists.
+    """
+
+    def __init__(self, evaluate: Callable[..., Dict[str, float]], every: int = 1):
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.evaluate = evaluate
+        self.every = every
+        self.history: List[Tuple[int, Dict[str, float]]] = []
+
+    def on_round_end(self, session, event: RoundEnd) -> None:
+        if (event.round_index + 1) % self.every == 0:
+            self.history.append((event.round_index, self.evaluate(session)))
+
+
+class EarlyStopping(SessionCallback):
+    """Request a stop when a round metric stops improving.
+
+    Watches ``record.mean_loss`` (the default) or any key of
+    ``record.metrics``; non-finite values never count as improvement.
+    After ``patience`` consecutive rounds without an improvement of at
+    least ``min_delta``, calls ``session.request_stop()`` — the session
+    finishes the current round cleanly and ``run_until`` returns early.
+    """
+
+    def __init__(self, metric: str = "mean_loss", patience: int = 3,
+                 min_delta: float = 0.0, mode: str = "min"):
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        if mode not in ("min", "max"):
+            raise ValueError(f"mode must be 'min' or 'max', got {mode!r}")
+        self.metric = metric
+        self.patience = patience
+        self.min_delta = min_delta
+        self.mode = mode
+        self.best: Optional[float] = None
+        self.stopped_round: Optional[int] = None
+        self._stale_rounds = 0
+
+    def _metric_value(self, record) -> Optional[float]:
+        if self.metric == "mean_loss":
+            value = record.mean_loss
+        else:
+            value = record.metrics.get(self.metric)
+        if value is None or not math.isfinite(value):
+            return None
+        return float(value)
+
+    def on_round_end(self, session, event: RoundEnd) -> None:
+        value = self._metric_value(event.record)
+        improved = False
+        if value is not None:
+            if self.best is None:
+                improved = True
+            elif self.mode == "min":
+                improved = value < self.best - self.min_delta
+            else:
+                improved = value > self.best + self.min_delta
+        if improved:
+            self.best = value
+            self._stale_rounds = 0
+            return
+        self._stale_rounds += 1
+        if self._stale_rounds >= self.patience and self.stopped_round is None:
+            self.stopped_round = event.round_index
+            session.request_stop()
+
+
+class RoundCheckpointer(SessionCallback):
+    """Persist the session's :class:`ServerState` after rounds complete.
+
+    One file, atomically replaced (write-then-``os.replace``, the same
+    discipline as the run store) every ``every`` completed rounds — a
+    killed run resumes from its last finished checkpointed round instead
+    of round 0.  The checkpoint fires on ``round_end``, i.e. *after* the
+    session committed the round, so the stored ``round_index`` is the
+    next round to execute.
+    """
+
+    def __init__(self, path: Union[str, Path], every: int = 1):
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.path = Path(path)
+        self.every = every
+        self.writes = 0
+
+    def on_round_end(self, session, event: RoundEnd) -> None:
+        if (event.round_index + 1) % self.every == 0:
+            write_checkpoint(session.capture_state(), self.path)
+            self.writes += 1

@@ -1,0 +1,89 @@
+"""Exact JSON codec for checkpoint state.
+
+Session checkpoints must restore *bitwise* — a run resumed at round k has
+to reproduce the uninterrupted run exactly — so this codec, unlike the
+lossy ``repro.runs.serialize.to_jsonable``, preserves everything that can
+change downstream arithmetic:
+
+* numpy arrays keep their dtype (including byte order) and shape via a
+  ``__nd__`` tag; element values round-trip exactly because Python's
+  ``json`` serializes floats through ``repr`` (shortest form that parses
+  back to the same double) and float32/float16 values are exactly
+  representable as doubles;
+* numpy scalars keep their dtype via a ``__np__`` tag;
+* tuples stay tuples (``__tu__``) — client stores hold ``(state_dict,
+  extra_state)`` pairs that algorithms unpack positionally;
+* dicts with non-string keys (or keys colliding with a tag) are encoded
+  as ordered pairs (``__map__``); all other dicts pass through with their
+  insertion order intact (JSON objects preserve order).
+
+Anything else — arbitrary objects, object-dtype arrays — raises
+``TypeError`` eagerly, which is the same contract the process execution
+backend enforces via pickling: per-client state must be plain data.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = ["encode_value", "decode_value"]
+
+_ND = "__nd__"
+_NP = "__np__"
+_TU = "__tu__"
+_MAP = "__map__"
+_TAGS = frozenset({_ND, _NP, _TU, _MAP})
+
+
+def encode_value(value: Any) -> Any:
+    """Recursively encode ``value`` into JSON-safe data, losslessly."""
+    # bool is an int subclass: test it (via the exact-type tuple) first.
+    if value is None or type(value) in (bool, int, float, str):
+        return value
+    if isinstance(value, np.ndarray):
+        if value.dtype.hasobject:
+            raise TypeError("cannot checkpoint object-dtype arrays")
+        return {_ND: [value.dtype.str, list(value.shape),
+                      np.ascontiguousarray(value).ravel().tolist()]}
+    if isinstance(value, np.generic):
+        return {_NP: [value.dtype.str, value.item()]}
+    if isinstance(value, tuple):
+        return {_TU: [encode_value(item) for item in value]}
+    if isinstance(value, list):
+        return [encode_value(item) for item in value]
+    if isinstance(value, dict):
+        if all(isinstance(key, str) for key in value) and not (_TAGS & value.keys()):
+            return {key: encode_value(item) for key, item in value.items()}
+        return {_MAP: [[encode_value(key), encode_value(item)]
+                       for key, item in value.items()]}
+    # Plain-int/float subclasses (e.g. enum.IntEnum) would decode as their
+    # base type; refuse rather than silently change type on resume.
+    if isinstance(value, (bool, int, float, str)):
+        raise TypeError(
+            f"cannot checkpoint {type(value).__name__} (subclass of a scalar "
+            "type); convert to the plain type first")
+    raise TypeError(f"cannot checkpoint value of type {type(value).__name__}")
+
+
+def decode_value(value: Any) -> Any:
+    """Invert :func:`encode_value` exactly."""
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    if isinstance(value, dict):
+        if len(value) == 1:
+            if _ND in value:
+                dtype, shape, data = value[_ND]
+                return np.array(data, dtype=np.dtype(dtype)).reshape(
+                    [int(dim) for dim in shape])
+            if _NP in value:
+                dtype, item = value[_NP]
+                return np.dtype(dtype).type(item)
+            if _TU in value:
+                return tuple(decode_value(item) for item in value[_TU])
+            if _MAP in value:
+                return {decode_value(key): decode_value(item)
+                        for key, item in value[_MAP]}
+        return {key: decode_value(item) for key, item in value.items()}
+    return value

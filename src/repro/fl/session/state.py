@@ -1,0 +1,128 @@
+"""The serializable server state a :class:`TrainingSession` advances.
+
+``ServerState`` is an explicit snapshot of everything the round loop
+mutates: the global model, the round cursor, per-round history, the
+algorithm's server-side state (SCAFFOLD control variates, …), every
+client's persistent store (SSL/Calibre local state dicts, APFL/Ditto
+personal models, …), and any sampler RNG state.  It round-trips through
+JSON *exactly* (see :mod:`repro.fl.session.codec`), which is what makes
+round-level checkpoints safe: a run restored at round k and continued is
+bitwise identical to the uninterrupted run.
+
+Checkpoint files are written with the same write-then-``os.replace``
+discipline as the run store, so a killed run never leaves a torn
+checkpoint behind.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ...ioutil import atomic_write_text
+from ...nn.serialize import StateDict
+from ..history import RoundRecord
+from .codec import decode_value, encode_value
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "ServerState",
+    "write_checkpoint",
+    "read_checkpoint",
+]
+
+CHECKPOINT_SCHEMA = 1
+"""Version stamp written into every checkpoint file."""
+
+
+@dataclass
+class ServerState:
+    """One complete snapshot of a federated run in flight.
+
+    ``round_index`` is the *next* round to execute: a state captured after
+    round k-1 finished carries ``round_index == k`` and ``k`` round
+    records.  ``client_stores`` maps client id to that client's persistent
+    algorithm store; clients with empty stores are omitted.
+    ``sampler_state`` is empty for the built-in samplers (their draws are
+    pure functions of ``(seed, round_index)``) and carries whatever a
+    stateful sampler's ``state_dict()`` returns otherwise.
+
+    ``context`` is a fingerprint of the run the checkpoint belongs to
+    (config minus execution knobs, federation shape — or the experiment
+    spec when the harness supplies one): a session refuses to restore a
+    state whose context differs from its own, so ``--resume`` against a
+    checkpoint taken under different settings fails loudly instead of
+    silently reporting the old run's model on the new workload.
+    """
+
+    algorithm: str
+    context: str = ""
+    round_index: int = 0
+    global_state: Optional[StateDict] = None
+    algorithm_state: Dict = field(default_factory=dict)
+    client_stores: Dict[int, Dict] = field(default_factory=dict)
+    round_records: List[RoundRecord] = field(default_factory=list)
+    sampler_state: Dict = field(default_factory=dict)
+    warned_non_finite: bool = False
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict:
+        """A JSON-ready dict that :meth:`from_json` inverts exactly."""
+        return {
+            "schema": CHECKPOINT_SCHEMA,
+            "algorithm": self.algorithm,
+            "context": self.context,
+            "round_index": int(self.round_index),
+            "global_state": (None if self.global_state is None
+                             else encode_value(dict(self.global_state))),
+            "algorithm_state": encode_value(self.algorithm_state),
+            "client_stores": {str(client_id): encode_value(store)
+                              for client_id, store in self.client_stores.items()},
+            "round_records": [record.to_json() for record in self.round_records],
+            "sampler_state": encode_value(self.sampler_state),
+            "warned_non_finite": bool(self.warned_non_finite),
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict) -> "ServerState":
+        schema = payload.get("schema", CHECKPOINT_SCHEMA)
+        if schema != CHECKPOINT_SCHEMA:
+            raise ValueError(
+                f"unsupported checkpoint schema {schema!r} "
+                f"(this build reads schema {CHECKPOINT_SCHEMA})")
+        global_state = payload.get("global_state")
+        return cls(
+            algorithm=payload["algorithm"],
+            context=str(payload.get("context", "")),
+            round_index=int(payload["round_index"]),
+            global_state=(None if global_state is None
+                          else decode_value(global_state)),
+            algorithm_state=decode_value(payload.get("algorithm_state", {})),
+            client_stores={int(client_id): decode_value(store)
+                           for client_id, store in
+                           payload.get("client_stores", {}).items()},
+            round_records=[RoundRecord.from_json(record)
+                           for record in payload.get("round_records", [])],
+            sampler_state=decode_value(payload.get("sampler_state", {})),
+            warned_non_finite=bool(payload.get("warned_non_finite", False)),
+        )
+
+
+def write_checkpoint(state: ServerState, path: Union[str, Path]) -> Path:
+    """Atomically persist ``state`` as an indented JSON file.
+
+    Keys are deliberately *not* sorted: insertion order inside state
+    dicts is semantic (state-dict arithmetic iterates keys in model
+    order, and ``_check_same_keys`` compares ordered key lists), and the
+    encoder emits it deterministically — so checkpoint bytes are stable
+    without sorting, and sorting would corrupt the order on restore.
+    """
+    text = json.dumps(state.to_json(), indent=2) + "\n"
+    return atomic_write_text(path, text)
+
+
+def read_checkpoint(path: Union[str, Path]) -> ServerState:
+    with open(path) as stream:
+        return ServerState.from_json(json.load(stream))

@@ -1,0 +1,41 @@
+"""Atomic filesystem primitives shared across subsystems.
+
+Both the run store (:mod:`repro.runs`) and the session checkpoints
+(:mod:`repro.fl.session`) persist JSON with the same discipline: write to
+a same-directory temp file, then ``os.replace`` into place.  Readers only
+ever observe a missing file or a complete one — never a torn write.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+__all__ = ["atomic_write_text", "safe_filename"]
+
+
+def safe_filename(name: str) -> str:
+    """Filesystem-safe spelling of a label (method names, sweep names).
+
+    The single sanitizer shared by the run store and the session
+    checkpoint layout, so the two never diverge on what a given label is
+    called on disk.
+    """
+    return "".join(ch if ch.isalnum() or ch in "._-" else "-" for ch in name)
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> Path:
+    """Write ``text`` to ``path`` via a same-directory temp file + rename.
+
+    ``os.replace`` is atomic on POSIX and Windows, so a killed process
+    never leaves a half-written file that a resume would mistake for a
+    complete one.  The temp name is dot-prefixed with a ``.tmp`` suffix so
+    ``*.json`` globs can never pick it up.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+    tmp.write_text(text)
+    os.replace(tmp, path)
+    return path

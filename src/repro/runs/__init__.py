@@ -8,7 +8,13 @@ and schedulable (:func:`run_sweep`: experiment-level parallelism over the
 :mod:`repro.fl.execution` backends, resuming past finished cells).
 """
 
-from .scheduler import SweepSummary, execute_cell, make_record, run_sweep
+from .scheduler import (
+    SweepSummary,
+    cell_checkpoint_dir,
+    execute_cell,
+    make_record,
+    run_sweep,
+)
 from .serialize import (
     EXECUTION_FIELDS,
     RECORD_SCHEMA,
@@ -25,7 +31,7 @@ from .serialize import (
     to_jsonable,
 )
 from .spec import FINGERPRINT_LENGTH, RunKey, SweepSpec, SweepVariant
-from .store import RunStore
+from .store import RunStore, TIMING_FIELDS
 
 __all__ = [
     "SweepSpec",
@@ -35,7 +41,9 @@ __all__ = [
     "run_sweep",
     "execute_cell",
     "make_record",
+    "cell_checkpoint_dir",
     "SweepSummary",
+    "TIMING_FIELDS",
     "outcome_from_records",
     "outcome_to_jsonable",
     "outcome_from_jsonable",

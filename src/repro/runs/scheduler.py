@@ -21,6 +21,8 @@ anyway (it is excluded from the cell fingerprint).
 
 from __future__ import annotations
 
+import shutil
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -31,7 +33,8 @@ from .serialize import RECORD_SCHEMA
 from .spec import RunKey, SweepSpec
 from .store import RunStore
 
-__all__ = ["run_sweep", "execute_cell", "make_record", "SweepSummary"]
+__all__ = ["run_sweep", "execute_cell", "make_record", "SweepSummary",
+           "cell_checkpoint_dir"]
 
 
 def make_record(key: RunKey, result, report, novel_report=None) -> Dict:
@@ -48,11 +51,37 @@ def make_record(key: RunKey, result, report, novel_report=None) -> Dict:
     return record
 
 
+def cell_checkpoint_dir(store_root: Union[str, Path], key: RunKey) -> Path:
+    """Where a cell's mid-run round checkpoints live under a store.
+
+    One directory per cell fingerprint: the checkpoint is scoped by
+    content hash exactly like the cell record, so a resumed sweep under a
+    different scheduler still finds it.
+    """
+    return Path(store_root) / "checkpoints" / key.fingerprint
+
+
 def execute_cell(key: RunKey, client_backend: Optional[str] = None,
-                 verbose: bool = False) -> Dict:
-    """Run one cell end-to-end and return its store record."""
+                 verbose: bool = False,
+                 checkpoint_dir: Union[str, Path, None] = None,
+                 checkpoint_every: int = 1,
+                 session_hook=None) -> Dict:
+    """Run one cell end-to-end and return its store record.
+
+    With ``checkpoint_dir`` set, the cell's session writes a round-level
+    checkpoint there after every round and resumes from an existing one —
+    a killed sweep restarts *mid-cell* at its last finished round rather
+    than from round 0 (resume is bitwise exact, so the record is
+    identical either way).  ``session_hook(method, session)`` passes
+    through to :func:`~repro.eval.harness.run_experiment` for attaching
+    callbacks to the cell's session.
+    """
     outcome = run_experiment(key.to_spec(), verbose=verbose,
-                             backend=client_backend)
+                             backend=client_backend,
+                             checkpoint_dir=checkpoint_dir,
+                             resume=checkpoint_dir is not None,
+                             checkpoint_every=checkpoint_every,
+                             session_hook=session_hook)
     result = outcome.results[key.method]
     report = outcome.reports[key.method]
     novel_report = outcome.novel_reports.get(key.method)
@@ -72,12 +101,35 @@ class _CellTask:
     store_root: Optional[str]
     client_backend: Optional[str] = None
     verbose: bool = False
+    round_checkpoints: bool = False
+    checkpoint_every: int = 1
 
     def __call__(self, key: RunKey) -> Dict:
+        checkpoint_dir = None
+        resumed_mid_cell = False
+        if self.round_checkpoints and self.store_root is not None:
+            checkpoint_dir = cell_checkpoint_dir(self.store_root, key)
+            resumed_mid_cell = any(checkpoint_dir.glob("*.json"))
+        started = time.perf_counter()
         record = execute_cell(key, client_backend=self.client_backend,
-                              verbose=self.verbose)
+                              verbose=self.verbose,
+                              checkpoint_dir=checkpoint_dir,
+                              checkpoint_every=self.checkpoint_every)
+        elapsed = time.perf_counter() - started
         if self.store_root is not None:
-            RunStore(self.store_root).write_record(record)
+            # A cell resumed from a mid-run checkpoint only recomputed its
+            # remaining rounds; recording that partial elapsed as the
+            # cell's wall clock would understate it, so record none.
+            timing = None
+            if not resumed_mid_cell:
+                rounds = len(record["result"].get("rounds", []))
+                timing = {"wall_clock_s": elapsed,
+                          "mean_round_s": elapsed / rounds if rounds else None}
+            RunStore(self.store_root).write_record(record, timing=timing)
+            if checkpoint_dir is not None:
+                # The authoritative cell record exists now; the mid-run
+                # checkpoint is stale and must not shadow future reruns.
+                shutil.rmtree(checkpoint_dir, ignore_errors=True)
         if self.verbose:
             mean = record["report"]["mean"]
             print(f"  [cell {key.fingerprint}] {key.label()}: mean={mean:.4f}")
@@ -115,6 +167,8 @@ def run_sweep(sweep: SweepSpec,
               workers: Optional[int] = None,
               max_cells: Optional[int] = None,
               client_backend: Optional[str] = None,
+              round_checkpoints: bool = False,
+              checkpoint_every: int = 1,
               verbose: bool = False) -> SweepSummary:
     """Run every pending cell of ``sweep``, resuming from ``store``.
 
@@ -126,11 +180,24 @@ def run_sweep(sweep: SweepSpec,
     serial whenever the outer scheduler is parallel.  ``max_cells`` bounds
     how many pending cells this pass may execute (budgeted/smoke runs);
     the rest are reported as deferred.
+
+    ``round_checkpoints`` (requires a store) makes every in-flight cell
+    write a round-level session checkpoint under
+    ``<store>/checkpoints/<fingerprint>/``: a killed sweep then resumes
+    *mid-cell* from the last finished round instead of restarting the
+    cell at round 0.  Checkpoints are deleted the moment their cell's
+    record persists, and resume is bitwise exact, so the store's bytes
+    are identical with the flag on or off.  ``checkpoint_every`` thins
+    the writes (checkpoint after every k-th round) when per-round
+    serialization costs more than k rounds of recompute are worth.
     """
     if store is not None and not isinstance(store, RunStore):
         store = RunStore(store)
     if max_cells is not None and max_cells < 0:
         raise ValueError(f"max_cells must be >= 0 or None, got {max_cells}")
+    if round_checkpoints and store is None:
+        raise ValueError("round_checkpoints=True requires a store "
+                         "(checkpoints live under the store root)")
     cells = sweep.cells()
     done = store.completed_fingerprints() if store is not None else set()
 
@@ -158,7 +225,9 @@ def run_sweep(sweep: SweepSpec,
     if store is not None:
         store.write_sweep(sweep)
     task = _CellTask(store_root=str(store.root) if store is not None else None,
-                     client_backend=inner, verbose=verbose)
+                     client_backend=inner, verbose=verbose,
+                     round_checkpoints=round_checkpoints,
+                     checkpoint_every=checkpoint_every)
     try:
         new_records = engine.map_clients(task, pending)
     finally:

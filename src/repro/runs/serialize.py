@@ -19,7 +19,6 @@ back to the same double).
 from __future__ import annotations
 
 import json
-import os
 from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
@@ -30,6 +29,7 @@ from ..eval.harness import ExperimentOutcome, ExperimentSpec, NonIIDSetting
 from ..eval.metrics import FairnessReport, fairness_report
 from ..fl.config import FederatedConfig
 from ..fl.history import RunResult
+from ..ioutil import atomic_write_text
 
 __all__ = [
     "RECORD_SCHEMA",
@@ -84,19 +84,9 @@ def encode_record(record: Dict) -> str:
     return json.dumps(to_jsonable(record), sort_keys=True, indent=2) + "\n"
 
 
-def atomic_write_text(path: Union[str, Path], text: str) -> Path:
-    """Write ``text`` to ``path`` via a same-directory temp file + rename.
-
-    ``os.replace`` is atomic on POSIX and Windows, so readers only ever see
-    a missing file or the complete one — a killed sweep never leaves a
-    half-written record that a resume would mistake for a finished cell.
-    """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
-    tmp.write_text(text)
-    os.replace(tmp, path)
-    return path
+# ``atomic_write_text`` moved to :mod:`repro.ioutil` (session checkpoints
+# share the same write-then-rename discipline); re-exported here for
+# compatibility via the import above.
 
 
 # ----------------------------------------------------------------------

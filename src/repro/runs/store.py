@@ -24,24 +24,31 @@ import json
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Union
 
+from ..ioutil import safe_filename
 from .serialize import atomic_write_text, encode_record
 from .spec import RunKey, SweepSpec
 
-__all__ = ["RunStore"]
+__all__ = ["RunStore", "TIMING_FIELDS"]
 
 
 def _fingerprint_of(key: Union[str, RunKey]) -> str:
     return key.fingerprint if isinstance(key, RunKey) else str(key)
 
 
-def _safe_name(name: str) -> str:
-    return "".join(ch if ch.isalnum() or ch in "._-" else "-" for ch in name)
+TIMING_FIELDS = ("wall_clock_s", "mean_round_s")
+"""Per-cell timing keys carried in ``index.jsonl`` entries.
+
+Timings are *diagnostics*, not results: cell records stay byte-identical
+across schedulers and hosts, so wall-clock lives only in the index.
+``wall_clock_s`` is the cell's end-to-end execution time (training +
+personalization); ``mean_round_s`` is that total divided by the round
+count."""
 
 
-def _index_entry(record: Dict) -> Dict:
+def _index_entry(record: Dict, timing: Optional[Dict] = None) -> Dict:
     """The one-line ``index.jsonl`` shape (shared by append and rebuild)."""
     key = record.get("key", {})
-    return {
+    entry = {
         "fingerprint": record["fingerprint"],
         "dataset": key.get("dataset"),
         "method": key.get("method"),
@@ -49,6 +56,10 @@ def _index_entry(record: Dict) -> Dict:
         "variant": key.get("variant", ""),
         "setting": key.get("setting"),
     }
+    if timing:
+        entry.update({name: timing[name] for name in TIMING_FIELDS
+                      if timing.get(name) is not None})
+    return entry
 
 
 class RunStore:
@@ -87,20 +98,26 @@ class RunStore:
         return f"RunStore({str(self.root)!r}, cells={len(self)})"
 
     # ------------------------------------------------------------------
-    def write_record(self, record: Dict) -> Path:
-        """Atomically persist one cell record and append its index line."""
+    def write_record(self, record: Dict, timing: Optional[Dict] = None) -> Path:
+        """Atomically persist one cell record and append its index line.
+
+        ``timing`` (optional ``{"wall_clock_s": ..., "mean_round_s": ...}``)
+        is recorded in the index entry only — never in the cell record,
+        which must stay byte-identical across schedulers and hosts.
+        """
         fingerprint = record.get("fingerprint")
         if not fingerprint:
             raise ValueError("record is missing its 'fingerprint' field")
         path = atomic_write_text(self.path_for(fingerprint), encode_record(record))
-        self._append_index(record)
+        self._append_index(record, timing)
         return path
 
-    def _append_index(self, record: Dict) -> None:
+    def _append_index(self, record: Dict, timing: Optional[Dict] = None) -> None:
         # One small single-line write in append mode: safe enough under
         # concurrent writers, and the index is a rebuildable cache anyway.
         with open(self.index_path, "a") as stream:
-            stream.write(json.dumps(_index_entry(record), sort_keys=True) + "\n")
+            stream.write(json.dumps(_index_entry(record, timing),
+                                    sort_keys=True) + "\n")
 
     def read_record(self, key: Union[str, RunKey]) -> Dict:
         path = self.path_for(key)
@@ -137,14 +154,45 @@ class RunStore:
                 + "; ".join(absent[:5]) + ("; ..." if len(absent) > 5 else ""))
         return records
 
+    def timings(self) -> Dict[str, Dict[str, float]]:
+        """Per-cell wall-clock from ``index.jsonl``: fingerprint → timing.
+
+        Last write wins (a cell re-executed after store surgery keeps its
+        most recent timing).  Cells indexed before timing existed — or
+        re-indexed by :meth:`rebuild_index` without a prior timing — are
+        absent from the result.
+        """
+        timings: Dict[str, Dict[str, float]] = {}
+        if not self.index_path.is_file():
+            return timings
+        with open(self.index_path) as stream:
+            for line in stream:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue  # torn concurrent append; the index is a cache
+                timing = {name: float(entry[name]) for name in TIMING_FIELDS
+                          if entry.get(name) is not None}
+                if timing:
+                    timings[entry["fingerprint"]] = timing
+        return timings
+
     def rebuild_index(self) -> int:
         """Rewrite ``index.jsonl`` from the cell files, sorted by fingerprint.
 
         Returns the number of indexed cells.  Use after crashes or manual
-        surgery on ``cells/`` — the cell files stay authoritative either way.
+        surgery on ``cells/`` — the cell files stay authoritative either
+        way.  Timings recorded in the old index are preserved (they exist
+        nowhere else); cells whose records vanished drop out along with
+        their timing.
         """
+        old_timings = self.timings()
         fingerprints = sorted(self.completed_fingerprints())
-        lines = [json.dumps(_index_entry(self.read_record(fingerprint)),
+        lines = [json.dumps(_index_entry(self.read_record(fingerprint),
+                                         old_timings.get(fingerprint)),
                             sort_keys=True)
                  for fingerprint in fingerprints]
         atomic_write_text(self.index_path, "".join(line + "\n" for line in lines))
@@ -153,5 +201,5 @@ class RunStore:
     # ------------------------------------------------------------------
     def write_sweep(self, sweep: SweepSpec) -> Path:
         """Persist the sweep grid itself (provenance for ``repro report``)."""
-        path = self.sweeps_dir / f"{_safe_name(sweep.name)}.json"
+        path = self.sweeps_dir / f"{safe_filename(sweep.name)}.json"
         return atomic_write_text(path, encode_record(sweep.to_jsonable()))

@@ -1,0 +1,203 @@
+"""Checkpoint exactness: the acceptance contract of the session API.
+
+Two properties, for every registered method:
+
+1. ``ServerState`` → JSON → ``ServerState`` is *exact* (dtypes, shapes,
+   key order, tuples, NaNs);
+2. a run checkpointed at an arbitrary round and resumed in a fresh
+   session produces a ``RunResult`` bitwise identical to the
+   uninterrupted run — including across the thread/process execution
+   backends.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.data import make_cifar10_like, partition_dirichlet
+from repro.eval import available_methods, build_method
+from repro.eval.harness import EncoderSpec
+from repro.fl import FederatedConfig, TrainingSession, build_federation
+from repro.fl.session import ServerState, decode_value, encode_value
+
+NUM_CLASSES = 10
+IMAGE_SIZE = 8
+
+# Picklable (EncoderSpec) so the process-backend resume test works too.
+ENCODER = EncoderSpec(kind="mlp", channels=3, image_size=IMAGE_SIZE,
+                      hidden_dims=(24, 12), seed=42)
+
+
+def tiny_config(**overrides):
+    defaults = dict(num_clients=4, clients_per_round=2, rounds=3, local_epochs=1,
+                    batch_size=16, personalization_epochs=2, seed=0)
+    defaults.update(overrides)
+    return FederatedConfig(**defaults)
+
+
+def tiny_federation(config, seed=0):
+    dataset = make_cifar10_like(image_size=IMAGE_SIZE, train_per_class=24,
+                                test_per_class=4, seed=seed)
+    parts = partition_dirichlet(dataset.train.labels, config.num_clients, 0.5,
+                                samples_per_client=40,
+                                rng=np.random.default_rng(seed))
+    return build_federation(dataset, parts, seed=seed)
+
+
+def make_session(method, config, backend=None):
+    algorithm = build_method(method, config, NUM_CLASSES, ENCODER)
+    return TrainingSession(algorithm, tiny_federation(config), config,
+                           backend=backend)
+
+
+def state_through_json(state: ServerState) -> ServerState:
+    """The full wire trip: to_json → dumps → loads → from_json."""
+    return ServerState.from_json(json.loads(json.dumps(state.to_json())))
+
+
+def assert_exact(left, right, path="$"):
+    """Recursive exact equality: types, dtypes, shapes, order, bits."""
+    assert type(left) is type(right), f"{path}: {type(left)} != {type(right)}"
+    if isinstance(left, dict):
+        assert list(left.keys()) == list(right.keys()), f"{path}: key order"
+        for key in left:
+            assert_exact(left[key], right[key], f"{path}.{key}")
+    elif isinstance(left, (list, tuple)):
+        assert len(left) == len(right), f"{path}: length"
+        for index, (a, b) in enumerate(zip(left, right)):
+            assert_exact(a, b, f"{path}[{index}]")
+    elif isinstance(left, np.ndarray):
+        assert left.dtype == right.dtype, f"{path}: dtype"
+        assert left.shape == right.shape, f"{path}: shape"
+        np.testing.assert_array_equal(left, right, err_msg=path)
+    elif isinstance(left, float) and np.isnan(left):
+        assert np.isnan(right), path
+    else:
+        assert left == right, path
+
+
+# ----------------------------------------------------------------------
+# Codec property tests
+# ----------------------------------------------------------------------
+_dtypes = st.sampled_from(["<f8", "<f4", "<i8", "<i4", "|b1"])
+_arrays = _dtypes.flatmap(
+    lambda dtype: hnp.arrays(
+        dtype=np.dtype(dtype),
+        shape=hnp.array_shapes(min_dims=0, max_dims=3, max_side=4),
+        elements=(st.floats(width=32 if dtype == "<f4" else 64,
+                            allow_nan=True, allow_infinity=True)
+                  if dtype in ("<f8", "<f4") else None),
+    )
+)
+_scalars = st.one_of(
+    st.none(), st.booleans(), st.integers(min_value=-2**53, max_value=2**53),
+    st.floats(allow_nan=True, allow_infinity=True), st.text(max_size=8),
+)
+_store_values = st.recursive(
+    st.one_of(_scalars, _arrays),
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.tuples(children, children),
+        st.dictionaries(st.text(max_size=6), children, max_size=3),
+        st.dictionaries(st.integers(-10, 10), children, max_size=3),
+    ),
+    max_leaves=12,
+)
+
+
+class TestCodecProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(value=_store_values)
+    def test_encode_decode_round_trip_is_exact(self, value):
+        wire = json.loads(json.dumps(encode_value(value)))
+        assert_exact(decode_value(wire), value)
+
+    @settings(max_examples=30, deadline=None)
+    @given(value=_store_values)
+    def test_encoding_is_deterministic(self, value):
+        assert json.dumps(encode_value(value)) == json.dumps(encode_value(value))
+
+    def test_tag_collision_keys_survive(self):
+        tricky = {"__nd__": [1, 2], "__tu__": (3,), 4: "int key"}
+        assert_exact(decode_value(json.loads(json.dumps(encode_value(tricky)))),
+                     tricky)
+
+    def test_unencodable_objects_raise(self):
+        with pytest.raises(TypeError):
+            encode_value(object())
+        with pytest.raises(TypeError):
+            encode_value(np.array([object()]))
+
+
+# ----------------------------------------------------------------------
+# Whole-run exactness, every registered method
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("method", available_methods())
+class TestEveryMethodCheckpoints:
+    def test_state_round_trip_and_resume_bitwise(self, method):
+        config = tiny_config()
+        # Uninterrupted reference.
+        reference = json.dumps(make_session(method, config).execute().to_json())
+
+        # Interrupt at round 2: capture, push through JSON, restore into a
+        # *fresh* session (new algorithm instance, freshly built clients).
+        partial = make_session(method, config)
+        partial.run_until(2)
+        state = partial.capture_state()
+        revived = state_through_json(state)
+        assert_exact(revived.to_json(), state.to_json())
+        assert revived.round_index == 2
+
+        resumed = make_session(method, config)
+        resumed.restore_state(revived)
+        assert json.dumps(resumed.execute().to_json()) == reference
+
+
+@pytest.mark.parametrize("method", ["scaffold", "calibre-simclr"])
+@pytest.mark.parametrize("backend", ["thread", "process"])
+class TestResumeAcrossBackends:
+    def test_resume_matches_serial_uninterrupted(self, method, backend):
+        """A checkpoint taken under serial resumes bitwise under every
+        backend (and vice versa: state is backend-independent)."""
+        config = tiny_config(clients_per_round=4)
+        reference = json.dumps(make_session(method, config).execute().to_json())
+
+        partial = make_session(method, config, backend=backend)
+        partial.run_until(1)
+        state = state_through_json(partial.capture_state())
+        partial.close()
+
+        resumed = make_session(method, config, backend=backend)
+        resumed.restore_state(state)
+        assert json.dumps(resumed.execute().to_json()) == reference
+
+
+class TestCheckpointFiles:
+    def test_save_load_file_round_trip(self, tmp_path):
+        config = tiny_config()
+        session = make_session("scaffold", config)
+        session.run_until(2)
+        path = session.save_checkpoint(tmp_path / "ckpt.json")
+        fresh = make_session("scaffold", config)
+        state = fresh.load_checkpoint(path)
+        assert state.round_index == 2
+        assert fresh.round_index == 2
+        assert json.dumps(fresh.capture_state().to_json()) == \
+            json.dumps(session.capture_state().to_json())
+
+    def test_checkpoint_bytes_are_deterministic(self, tmp_path):
+        config = tiny_config()
+        session = make_session("calibre-simclr", config)
+        session.run_until(1)
+        first = session.save_checkpoint(tmp_path / "a.json").read_bytes()
+        second = session.save_checkpoint(tmp_path / "b.json").read_bytes()
+        assert first == second
+
+    def test_schema_mismatch_raises(self):
+        with pytest.raises(ValueError, match="schema"):
+            ServerState.from_json({"schema": 999, "algorithm": "x",
+                                   "round_index": 0})

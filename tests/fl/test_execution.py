@@ -50,6 +50,52 @@ def test_process_backend_maps_and_reuses_pool():
         assert backend.map_clients(_double, range(3)) == [0, 2, 4]
 
 
+@pytest.mark.parametrize("backend_cls", [SerialBackend, ThreadBackend,
+                                         ProcessBackend])
+def test_imap_yields_every_index_exactly_once(backend_cls):
+    with backend_cls(workers=3, chunk_size=2) as backend:
+        pairs = list(backend.imap_clients(_double, range(11)))
+    # Completion order is backend-specific; the (index, result) pairing
+    # must reassemble into exactly the serial result.
+    assert sorted(index for index, _ in pairs) == list(range(11))
+    results = [None] * 11
+    for index, result in pairs:
+        results[index] = result
+    assert results == [2 * i for i in range(11)]
+
+
+def test_serial_imap_is_lazy():
+    """The serial generator interleaves consumption with execution — the
+    property that lets aggregation start before the round barrier."""
+    executed = []
+
+    def task(x):
+        executed.append(x)
+        return x
+
+    iterator = SerialBackend().imap_clients(task, range(4))
+    assert executed == []
+    assert next(iterator) == (0, 0)
+    assert executed == [0]
+    assert next(iterator) == (1, 1)
+    assert executed == [0, 1]
+
+
+def test_process_imap_falls_back_on_unpicklable_task():
+    unpicklable = lambda x: 2 * x  # noqa: E731 — closures cannot pickle
+    with ProcessBackend(workers=2) as backend:
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            pairs = list(backend.imap_clients(unpicklable, range(5)))
+    assert pairs == [(i, 2 * i) for i in range(5)]
+
+
+def test_imap_task_exceptions_propagate():
+    for backend_cls in (SerialBackend, ThreadBackend):
+        with backend_cls(workers=2, chunk_size=1) as backend:
+            with pytest.raises(ValueError, match="task failure"):
+                list(backend.imap_clients(_explode, range(4)))
+
+
 def test_chunk_items_covers_everything_in_order():
     chunks = chunk_items(list(range(10)), workers=3)
     assert [x for chunk in chunks for x in chunk] == list(range(10))

@@ -1,0 +1,343 @@
+"""TrainingSession mechanics: events, callbacks, streaming aggregation,
+checkpoint files, and the FederatedServer compatibility shim."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import make_cifar10_like, partition_iid
+from repro.fl import (
+    ClientUpdate,
+    EarlyStopping,
+    EvalCadence,
+    FederatedAlgorithm,
+    FederatedConfig,
+    FederatedServer,
+    HistoryStreamer,
+    RoundCheckpointer,
+    RoundRobinSampler,
+    SessionCallback,
+    TrainingSession,
+    UpdateAccumulator,
+    build_federation,
+    read_checkpoint,
+)
+from repro.fl.personalization import PersonalizationResult
+from repro.fl.session.events import (
+    AggregateDone,
+    ClientUpdateDone,
+    PersonalizeDone,
+    RoundBegin,
+    RoundEnd,
+)
+from repro.nn import Linear
+
+
+class TraceAlgorithm(FederatedAlgorithm):
+    """Instrumented algorithm recording every call in sequence."""
+
+    name = "trace"
+
+    def __init__(self, config, num_classes=10, loss_per_round=None):
+        super().__init__(config, num_classes)
+        self.calls = []
+        self.loss_per_round = loss_per_round or {}
+
+    def build_global_state(self):
+        return {"w": np.zeros(3)}
+
+    def local_update(self, client, global_state, round_index):
+        self.calls.append(("update", round_index, client.client_id))
+        return ClientUpdate(
+            client_id=client.client_id,
+            state={"w": global_state["w"] + 1.0},
+            weight=float(client.num_train_samples),
+            metrics={"loss": self.loss_per_round.get(round_index, 1.0)},
+        )
+
+    def extract_features(self, client, global_state, images):
+        return images.reshape(images.shape[0], -1)
+
+    def personalize(self, client, global_state):
+        return PersonalizationResult(accuracy=0.5, train_accuracy=0.5,
+                                     head=Linear(2, 2), losses=[])
+
+
+class Recorder(SessionCallback):
+    def __init__(self):
+        self.events = []
+
+    def on_event(self, session, event):
+        self.events.append(event)
+
+
+def make_clients(n=4):
+    dataset = make_cifar10_like(image_size=8, train_per_class=10,
+                                test_per_class=2, seed=0)
+    parts = partition_iid(dataset.train.labels, n, np.random.default_rng(0))
+    return build_federation(dataset, parts, seed=0)
+
+
+def tiny_config(**overrides):
+    defaults = dict(num_clients=4, clients_per_round=2, rounds=3,
+                    personalization_epochs=1, seed=0)
+    defaults.update(overrides)
+    return FederatedConfig(**defaults)
+
+
+class TestEventOrder:
+    def test_round_event_sequence(self):
+        config = tiny_config(rounds=2)
+        recorder = Recorder()
+        session = TrainingSession(TraceAlgorithm(config), make_clients(4), config,
+                                  callbacks=[recorder])
+        session.execute()
+        kinds = [type(e) for e in recorder.events]
+        per_round = [RoundBegin, ClientUpdateDone, ClientUpdateDone,
+                     AggregateDone, RoundEnd]
+        assert kinds == per_round * 2 + [PersonalizeDone]
+        begins = [e for e in recorder.events if isinstance(e, RoundBegin)]
+        assert [e.round_index for e in begins] == [0, 1]
+        assert all(len(e.participant_ids) == 2 for e in begins)
+        end = [e for e in recorder.events if isinstance(e, RoundEnd)][-1]
+        assert end.record.mean_loss == pytest.approx(1.0)
+
+    def test_round_end_fires_after_state_commit(self):
+        config = tiny_config(rounds=1)
+        seen = {}
+
+        class Probe(SessionCallback):
+            def on_round_end(self, session, event):
+                seen["round_index"] = session.round_index
+                seen["records"] = len(session.round_records)
+
+        session = TrainingSession(TraceAlgorithm(config), make_clients(4), config,
+                                  callbacks=[Probe()])
+        session.run()
+        assert seen == {"round_index": 1, "records": 1}
+
+    def test_updates_stream_into_aggregator_before_barrier(self):
+        """Under the serial backend the round is a true pipeline: client
+        i's update is ingested before client i+1 even starts."""
+        config = tiny_config(rounds=1, clients_per_round=3)
+        trace = []
+
+        class RecordingAccumulator(UpdateAccumulator):
+            def ingest(self, update):
+                trace.append(("ingest", update.client_id))
+
+        class PipelinedAlgorithm(TraceAlgorithm):
+            def local_update(self, client, global_state, round_index):
+                trace.append(("update", client.client_id))
+                return super().local_update(client, global_state, round_index)
+
+            def make_aggregator(self, global_state, round_index):
+                return RecordingAccumulator(self, global_state, round_index)
+
+        session = TrainingSession(PipelinedAlgorithm(config), make_clients(4),
+                                  config, sampler=RoundRobinSampler(3))
+        session.step()
+        assert trace == [("update", 0), ("ingest", 0), ("update", 1),
+                         ("ingest", 1), ("update", 2), ("ingest", 2)]
+
+    def test_aggregator_finalize_uses_input_order(self):
+        config = tiny_config(rounds=1)
+        algorithm = TraceAlgorithm(config)
+        accumulator = algorithm.make_aggregator({"w": np.zeros(3)}, 0)
+        second = ClientUpdate(client_id=7, state={"w": np.ones(3)}, weight=1.0)
+        first = ClientUpdate(client_id=3, state={"w": np.full(3, 3.0)}, weight=1.0)
+        accumulator.add(1, second)  # completion order: position 1 first
+        accumulator.add(0, first)
+        assert [u.client_id for u in accumulator.updates_in_order()] == [3, 7]
+        np.testing.assert_allclose(accumulator.finalize()["w"], np.full(3, 2.0))
+        with pytest.raises(ValueError):
+            accumulator.add(1, second)
+
+
+class TestStepAndRunUntil:
+    def test_step_advances_one_round(self):
+        config = tiny_config()
+        session = TrainingSession(TraceAlgorithm(config), make_clients(4), config)
+        assert session.round_index == 0
+        record = session.step()
+        assert record.round_index == 0
+        assert session.round_index == 1
+        session.run_until(3)
+        assert session.round_index == 3
+        assert len(session.round_records) == 3
+
+    def test_run_until_is_idempotent_at_target(self):
+        config = tiny_config()
+        algorithm = TraceAlgorithm(config)
+        session = TrainingSession(algorithm, make_clients(4), config)
+        session.run()
+        updates = len(algorithm.calls)
+        session.run()  # already at config.rounds: nothing recomputes
+        assert len(algorithm.calls) == updates
+
+    def test_zero_rounds_still_initializes_and_personalizes(self):
+        config = tiny_config(rounds=0)
+        session = TrainingSession(TraceAlgorithm(config), make_clients(4), config)
+        result = session.execute()
+        assert len(result.accuracies) == 4
+        assert result.rounds == []
+
+    def test_personalize_before_init_raises(self):
+        config = tiny_config()
+        session = TrainingSession(TraceAlgorithm(config), make_clients(4), config)
+        with pytest.raises(RuntimeError):
+            session.personalize()
+
+    def test_requires_clients(self):
+        config = tiny_config()
+        with pytest.raises(ValueError):
+            TrainingSession(TraceAlgorithm(config), [], config)
+
+
+class TestBuiltinCallbacks:
+    def test_history_streamer_to_stream_and_path(self, tmp_path):
+        config = tiny_config(rounds=2)
+        buffer = io.StringIO()
+        path = tmp_path / "history.jsonl"
+        session = TrainingSession(
+            TraceAlgorithm(config), make_clients(4), config,
+            callbacks=[HistoryStreamer(buffer), HistoryStreamer(path)])
+        session.execute()
+        lines = [json.loads(line) for line in buffer.getvalue().splitlines()]
+        assert [entry["event"] for entry in lines] == ["round", "round", "result"]
+        assert lines[0]["record"]["round_index"] == 0
+        assert lines[-1]["summary"]["mean_accuracy"] == pytest.approx(0.5)
+        assert path.read_text() == buffer.getvalue()
+
+    def test_eval_cadence(self):
+        config = tiny_config(rounds=4)
+        cadence = EvalCadence(lambda session: {"round": session.round_index},
+                              every=2)
+        session = TrainingSession(TraceAlgorithm(config), make_clients(4), config,
+                                  callbacks=[cadence])
+        session.run()
+        # Fires after rounds 1 and 3 (2 and 4 completed rounds); the session
+        # has already advanced when the hook runs.
+        assert cadence.history == [(1, {"round": 2}), (3, {"round": 4})]
+
+    def test_early_stopping_stops_on_plateau(self):
+        config = tiny_config(rounds=10)
+        losses = {0: 1.0, 1: 0.5}  # rounds >= 2 plateau at 1.0
+        stopper = EarlyStopping(patience=2)
+        session = TrainingSession(
+            TraceAlgorithm(config, loss_per_round=losses), make_clients(4),
+            config, callbacks=[stopper])
+        session.run()
+        assert session.stop_requested
+        assert stopper.best == pytest.approx(0.5)
+        # best at round 1, two stale rounds (2, 3) then stop.
+        assert stopper.stopped_round == 3
+        assert session.round_index == 4
+        assert len(session.round_records) == 4
+
+    def test_round_checkpointer_writes_every_k_rounds(self, tmp_path):
+        config = tiny_config(rounds=4)
+        path = tmp_path / "ckpt.json"
+        checkpointer = RoundCheckpointer(path, every=2)
+        session = TrainingSession(TraceAlgorithm(config), make_clients(4), config,
+                                  callbacks=[checkpointer])
+        session.run()
+        assert checkpointer.writes == 2
+        state = read_checkpoint(path)
+        assert state.round_index == 4
+        assert len(state.round_records) == 4
+        # Atomic discipline: no temp files left behind.
+        assert [p.name for p in tmp_path.iterdir()] == ["ckpt.json"]
+
+    def test_add_and_remove_callback(self):
+        config = tiny_config(rounds=1)
+        session = TrainingSession(TraceAlgorithm(config), make_clients(4), config)
+        recorder = session.add_callback(Recorder())
+        session.step()
+        count = len(recorder.events)
+        assert count > 0
+        session.remove_callback(recorder)
+        session.step()
+        assert len(recorder.events) == count
+
+
+class TestServerShim:
+    def test_shim_matches_session_bitwise(self):
+        config = tiny_config()
+        result_server = FederatedServer(
+            TraceAlgorithm(config), make_clients(4), config).run()
+        result_session = TrainingSession(
+            TraceAlgorithm(config), make_clients(4), config).execute()
+        assert json.dumps(result_server.to_json()) == \
+            json.dumps(result_session.to_json())
+
+    def test_shim_exposes_legacy_surface(self):
+        config = tiny_config()
+        algorithm = TraceAlgorithm(config)
+        server = FederatedServer(algorithm, make_clients(4), config)
+        assert server.algorithm is algorithm
+        assert server.config is config
+        assert server.global_state is None
+        final = server.train()
+        assert server.global_state is final
+        assert len(server.round_records) == config.rounds
+        result = server.personalize_all()
+        assert len(result.accuracies) == 4
+        server.close()
+
+
+class TestRestoreValidation:
+    def test_algorithm_mismatch_raises(self):
+        config = tiny_config(rounds=1)
+        session = TrainingSession(TraceAlgorithm(config), make_clients(4), config)
+        session.run()
+        state = session.capture_state()
+        other = TraceAlgorithm(config)
+        other.name = "other"
+        fresh = TrainingSession(other, make_clients(4), config)
+        with pytest.raises(ValueError, match="other"):
+            fresh.restore_state(state)
+
+    def test_unknown_client_ids_raise(self):
+        config = tiny_config(rounds=1)
+        session = TrainingSession(TraceAlgorithm(config), make_clients(4), config)
+        session.run()
+        state = session.capture_state()
+        state.client_stores[999] = {"x": 1}
+        fresh = TrainingSession(TraceAlgorithm(config), make_clients(4), config)
+        with pytest.raises(ValueError, match="999"):
+            fresh.restore_state(state)
+
+    def test_context_mismatch_raises(self):
+        """A checkpoint taken under one configuration must refuse to
+        restore into a session over a different one."""
+        config = tiny_config(rounds=2)
+        session = TrainingSession(TraceAlgorithm(config), make_clients(4), config)
+        session.run_until(1)
+        state = session.capture_state()
+        other_config = tiny_config(rounds=2, seed=7)
+        fresh = TrainingSession(TraceAlgorithm(other_config), make_clients(4),
+                                other_config)
+        with pytest.raises(ValueError, match="context"):
+            fresh.restore_state(state)
+
+    def test_execution_knobs_do_not_change_context(self):
+        config = tiny_config()
+        thread_config = tiny_config(backend="thread", workers=2)
+        serial = TrainingSession(TraceAlgorithm(config), make_clients(4), config)
+        threaded = TrainingSession(TraceAlgorithm(thread_config), make_clients(4),
+                                   thread_config)
+        assert serial.context == threaded.context
+        threaded.close()
+
+    def test_captured_state_is_detached(self):
+        config = tiny_config(rounds=2)
+        session = TrainingSession(TraceAlgorithm(config), make_clients(4), config)
+        session.run_until(1)
+        state = session.capture_state()
+        frozen = json.dumps(state.to_json())
+        session.run()  # keep training; the snapshot must not move
+        assert json.dumps(state.to_json()) == frozen
+        assert state.round_index == 1

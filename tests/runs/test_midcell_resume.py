@@ -1,0 +1,137 @@
+"""Mid-cell resume and wall-clock accounting in the sweep subsystem.
+
+A sweep run with ``round_checkpoints=True`` persists each in-flight
+cell's session state per round; after a kill, the relaunch resumes the
+cell at its last finished round and the resulting record is byte-for-byte
+what an uninterrupted sweep writes.
+"""
+
+import json
+
+import pytest
+
+from repro.eval import NonIIDSetting
+from repro.eval.harness import checkpoint_path_for
+from repro.fl import FederatedConfig, SessionCallback
+from repro.fl.session import read_checkpoint
+from repro.runs import (
+    RunStore,
+    SweepSpec,
+    cell_checkpoint_dir,
+    run_sweep,
+)
+from repro.runs.scheduler import execute_cell
+
+TINY_CONFIG = FederatedConfig(num_clients=4, clients_per_round=2, rounds=3,
+                              local_epochs=1, batch_size=16,
+                              personalization_epochs=2, seed=0)
+TINY_DATASET = dict(image_size=8, train_per_class=16, test_per_class=4)
+
+
+def tiny_sweep(methods=("fedavg",), seeds=(0,), rounds=3):
+    return SweepSpec(
+        name="tiny-midcell",
+        methods=list(methods),
+        settings=[NonIIDSetting("dirichlet", 0.5, 20)],
+        seeds=list(seeds),
+        config=TINY_CONFIG.with_overrides(rounds=rounds),
+        dataset_kwargs={"cifar10": dict(TINY_DATASET)},
+    )
+
+
+class _KillAfter(SessionCallback):
+    """Simulate a SIGKILL mid-cell: die after N rounds committed (and
+    checkpointed — round_end callbacks registered earlier already ran)."""
+
+    class Killed(BaseException):
+        pass
+
+    def __init__(self, rounds):
+        self.rounds = rounds
+
+    def on_round_end(self, session, event):
+        if event.round_index + 1 >= self.rounds:
+            raise _KillAfter.Killed()
+
+
+class TestMidCellResume:
+    def test_killed_cell_resumes_at_round_and_matches_bytes(self, tmp_path, capsys):
+        sweep = tiny_sweep()
+        (key,) = sweep.cells()
+
+        # Reference store: uninterrupted sweep, no checkpoints.
+        reference = tmp_path / "reference"
+        run_sweep(sweep, store=reference)
+
+        # Interrupted store: the cell dies after 2 of 3 rounds.
+        store_root = tmp_path / "interrupted"
+        store = RunStore(store_root)
+        checkpoints = cell_checkpoint_dir(store_root, key)
+        with pytest.raises(_KillAfter.Killed):
+            execute_cell(key, checkpoint_dir=checkpoints,
+                         session_hook=lambda name, session:
+                         session.add_callback(_KillAfter(2)))
+        checkpoint_file = checkpoint_path_for(checkpoints, key.method)
+        assert read_checkpoint(checkpoint_file).round_index == 2
+        assert not store.has(key)
+
+        # Relaunch: the cell resumes at round 2, not round 0.
+        summary = run_sweep(sweep, store=store, round_checkpoints=True,
+                            verbose=True)
+        assert summary.complete
+        assert f"[resume] {key.method} at round 2/3" in capsys.readouterr().out
+        # Byte-identical to the uninterrupted store; checkpoint cleaned up.
+        assert store.path_for(key).read_bytes() == \
+            RunStore(reference).path_for(key).read_bytes()
+        assert not checkpoints.exists()
+        # A resumed cell's elapsed covers only the recomputed rounds, so
+        # no (misleading) timing is recorded for it.
+        assert key.fingerprint not in store.timings()
+
+    def test_round_checkpoints_leave_store_bytes_unchanged(self, tmp_path):
+        sweep = tiny_sweep(methods=("script-fair", "fedavg"))
+        plain, checked = tmp_path / "plain", tmp_path / "checked"
+        run_sweep(sweep, store=plain)
+        run_sweep(sweep, store=checked, round_checkpoints=True)
+        for key in sweep.cells():
+            assert RunStore(plain).path_for(key).read_bytes() == \
+                RunStore(checked).path_for(key).read_bytes()
+        assert not (checked / "checkpoints").exists() or \
+            not any((checked / "checkpoints").iterdir())
+
+    def test_round_checkpoints_require_store(self):
+        with pytest.raises(ValueError, match="store"):
+            run_sweep(tiny_sweep(), round_checkpoints=True)
+
+
+class TestWallClockIndex:
+    def test_write_record_carries_timing_into_index(self, tmp_path):
+        sweep = tiny_sweep()
+        store = RunStore(tmp_path)
+        run_sweep(sweep, store=store)
+        (key,) = sweep.cells()
+        timings = store.timings()
+        assert key.fingerprint in timings
+        timing = timings[key.fingerprint]
+        assert timing["wall_clock_s"] > 0
+        assert timing["mean_round_s"] == pytest.approx(
+            timing["wall_clock_s"] / 3)
+        # ... but never into the (deterministic) cell record itself.
+        record_text = store.path_for(key).read_text()
+        assert "wall_clock_s" not in record_text
+
+    def test_rebuild_index_preserves_timings(self, tmp_path):
+        sweep = tiny_sweep()
+        store = RunStore(tmp_path)
+        run_sweep(sweep, store=store)
+        before = store.timings()
+        assert before
+        assert store.rebuild_index() == 1
+        assert store.timings() == before
+
+    def test_timing_free_records_have_no_timing_entries(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.write_record({"fingerprint": "abc", "key": {"method": "m"}})
+        assert store.timings() == {}
+        line = json.loads(store.index_path.read_text())
+        assert "wall_clock_s" not in line

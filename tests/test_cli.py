@@ -115,3 +115,42 @@ class TestSweepCommands:
         with pytest.raises(SystemExit):
             main(["sweep", "--runs-dir", str(tmp_path), "--exp", "fig3",
                   "--methods", "bogus"])
+
+    def test_report_across_seeds_and_timings(self, capsys, tmp_path):
+        runs_dir = str(tmp_path / "store")
+        base = ["--runs-dir", runs_dir, "--seeds", "0", "1"] + TINY_SWEEP_ARGS
+        assert main(["sweep", "--quiet", "--round-checkpoints"] + base) == 0
+        capsys.readouterr()
+
+        assert main(["report", "--across-seeds", "--timings"] + base) == 0
+        out = capsys.readouterr().out
+        assert "[across seeds 0 1]" in out
+        # One aggregated table row, not one table per seed (the other two
+        # mentions are the per-seed timing rows).
+        assert out.count("script-fair") == 3
+        assert "±std" in out
+        assert "cell timings" in out
+        assert "s/cell" in out
+
+        # Aggregation is a pure store read: byte-stable across invocations.
+        assert main(["report", "--across-seeds"] + base) == 0
+        first = capsys.readouterr().out
+        assert main(["report", "--across-seeds"] + base) == 0
+        assert capsys.readouterr().out == first
+
+    def test_run_resume_requires_checkpoints(self, capsys):
+        assert main(["run", "--method", "script-fair", "--resume"]) == 2
+        assert "--resume requires --checkpoints" in capsys.readouterr().err
+
+    def test_run_checkpoint_and_resume_round_trip(self, capsys, tmp_path):
+        checkpoints = str(tmp_path / "ckpts")
+        base = ["run", "--method", "fedavg", "--setting", "dirichlet",
+                "--param", "0.5", "--samples", "20", "--rounds", "2",
+                "--clients", "4", "--checkpoints", checkpoints]
+        assert main(base) == 0
+        first = capsys.readouterr().out
+        assert main(base + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "[resume] fedavg at round 2/2" in second
+        # The resumed run skips training but lands on the same table.
+        assert first.splitlines()[-1] == second.splitlines()[-1]
