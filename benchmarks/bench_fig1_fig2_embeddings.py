@@ -3,45 +3,36 @@ have fuzzy class boundaries.
 
 Fig. 1 embeds representations of multiple clients' samples from
 pFL-SimCLR / pFL-BYOL encoders; Fig. 2 zooms into single clients.  The
-paper's claim is *negative* — no distinct class clusters emerge.  We
-regenerate the embeddings (CSV + silhouette) and assert the fuzziness
-quantitatively: uncalibrated SSL feature silhouettes stay below the
-well-clustered threshold that Calibre exceeds in the Fig. 5/6 bench.
+paper's claim is *negative* — no distinct class clusters emerge.  This
+bench is a thin wrapper over the figure's sweep definition
+(:func:`repro.experiments.embeddings_sweep` via
+:func:`~repro.experiments.run_figure`): the same grid ``repro sweep
+--grid fig1`` executes, rendered to the same SVGs ``repro figures``
+writes, plus the fuzziness asserted quantitatively — uncalibrated SSL
+feature silhouettes stay below the well-clustered threshold that Calibre
+exceeds in the Fig. 5/6 bench.
 """
 
 
-from repro.eval import NonIIDSetting
-from repro.experiments import compute_method_embeddings
-from repro.viz import ascii_scatter
+from repro.eval import format_silhouette_table
+from repro.experiments import render_figure_svg, run_figure
 
-from .conftest import persist
+from .conftest import persist, persist_svg
 
 FUZZY_CEILING = 0.15  # silhouette below this = "no distinct clusters"
 
 
 def test_fig1_fig2_fuzzy_boundaries(benchmark, results_dir):
     results = benchmark.pedantic(
-        compute_method_embeddings,
-        args=(["pfl-simclr", "pfl-byol"],),
-        kwargs=dict(
-            dataset_name="cifar10",
-            setting=NonIIDSetting("dirichlet", 0.3, 50),
-            num_embed_clients=6,
-            samples_per_client=15,
-            seed=0,
-            tsne_iterations=250,
-        ),
+        run_figure,
+        args=("fig1",),
+        kwargs=dict(seed=0),
         rounds=1,
         iterations=1,
     )
-    blocks = []
+    blocks = [format_silhouette_table(results, title="fig1/fig2 silhouettes")]
     for result in results:
-        blocks.append(ascii_scatter(
-            result.embedding, result.labels, width=64, height=18,
-            title=(f"{result.method}  tsne_sil={result.silhouette:.4f}  "
-                   f"feat_sil={result.feature_silhouette:.4f}"),
-        ))
-        blocks.append("per-client silhouettes (Fig. 2): "
+        blocks.append(f"{result.method} per-client silhouettes (Fig. 2): "
                       + ", ".join(f"client-{cid}: {sil:.3f}"
                                   for cid, sil in
                                   result.per_client_silhouette.items()))
@@ -50,6 +41,10 @@ def test_fig1_fig2_fuzzy_boundaries(benchmark, results_dir):
             result.feature_silhouette
         )
     persist(results_dir, "fig1_fig2_pfl_ssl_embeddings", "\n\n".join(blocks))
+    persist_svg(results_dir, "fig1_pfl_ssl_embeddings",
+                render_figure_svg("fig1", results))
+    persist_svg(results_dir, "fig2_pfl_ssl_single_clients",
+                render_figure_svg("fig2", results))
 
     for result in results:
         assert result.feature_silhouette < FUZZY_CEILING, (

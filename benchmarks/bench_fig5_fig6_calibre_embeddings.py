@@ -3,17 +3,17 @@
 Fig. 5: pFL-SimSiam / pFL-MoCoV2 vs Calibre (SimSiam) / Calibre (MoCoV2);
 Fig. 6: Calibre (SimCLR) vs Calibre (BYOL) plus per-client panels.  The
 claim: calibrated encoders produce "clear clusters with refined class
-boundaries" where the uncalibrated ones are fuzzy.  Asserted as: each
-Calibre variant's feature-space silhouette exceeds its uncalibrated
-counterpart's.
+boundaries" where the uncalibrated ones are fuzzy.  A thin wrapper over
+the fig5 sweep definition, widened to all four (plain, calibrated) pairs;
+asserted as: each Calibre variant's feature-space silhouette exceeds its
+uncalibrated counterpart's.
 """
 
 
-from repro.eval import NonIIDSetting
-from repro.experiments import compute_method_embeddings
-from repro.viz import ascii_scatter
+from repro.eval import format_silhouette_table
+from repro.experiments import render_figure_svg, run_figure
 
-from .conftest import persist
+from .conftest import persist, persist_svg
 
 PAIRS = [
     ("pfl-simsiam", "calibre-simsiam"),
@@ -26,26 +26,14 @@ METHODS = [name for pair in PAIRS for name in pair]
 
 def test_fig5_fig6_calibre_calibrates(benchmark, results_dir):
     results = benchmark.pedantic(
-        compute_method_embeddings,
-        args=(METHODS,),
-        kwargs=dict(
-            dataset_name="cifar10",
-            setting=NonIIDSetting("dirichlet", 0.3, 50),
-            num_embed_clients=6,
-            samples_per_client=15,
-            seed=0,
-            tsne_iterations=250,
-        ),
+        run_figure,
+        args=("fig5",),
+        kwargs=dict(methods=METHODS, seed=0),
         rounds=1,
         iterations=1,
     )
     by_name = {r.method: r for r in results}
-    blocks = []
     for result in results:
-        blocks.append(ascii_scatter(
-            result.embedding, result.labels, width=64, height=18,
-            title=(f"{result.method}  feat_sil={result.feature_silhouette:.4f}"),
-        ))
         benchmark.extra_info[f"{result.method}_feature_silhouette"] = (
             result.feature_silhouette
         )
@@ -62,7 +50,13 @@ def test_fig5_fig6_calibre_calibrates(benchmark, results_dir):
                        f"{calibre_name:18s} {calibrated:+.4f}   "
                        f"(gain {margin:+.4f})")
     persist(results_dir, "fig5_fig6_calibre_embeddings",
-            "\n\n".join(blocks) + "\n\n" + "\n".join(summary))
+            format_silhouette_table(results, title="fig5/fig6 silhouettes")
+            + "\n\n" + "\n".join(summary))
+    persist_svg(results_dir, "fig5_calibre_vs_plain",
+                render_figure_svg("fig5", results))
+    persist_svg(results_dir, "fig6_calibre_per_client",
+                render_figure_svg("fig6", [by_name["calibre-simclr"],
+                                           by_name["calibre-byol"]]))
 
     # Shape: calibration improves cluster quality on average and for at
     # least half the base methods.  At 25 CPU rounds the gain is clear for

@@ -3,72 +3,56 @@
 The paper embeds FedAvg / FedRep / FedPer / FedBABU / LG-FedAvg / Calibre
 (SimCLR) representations on CIFAR-10 (D-non-iid 0.3, Fig. 7) and STL-10
 (Q-non-iid 2 classes/client, Fig. 8), claiming Calibre's representations
-"consistently present clear clusters".  Asserted as: Calibre (SimCLR)
-ranks in the top half of the six methods by feature silhouette on each
-dataset.
+"consistently present clear clusters".  A thin wrapper over the fig7/fig8
+sweep definitions; asserted as: Calibre (SimCLR) ranks in the top half of
+the six methods by feature silhouette on each dataset.
 """
 
 import pytest
 
-from repro.eval import NonIIDSetting
-from repro.experiments import FIGURE_METHOD_SETS, compute_method_embeddings
-from repro.viz import ascii_scatter
+from repro.eval import format_silhouette_table
+from repro.experiments import render_figure_svg, run_figure
 
-from .conftest import persist
+from .conftest import persist, persist_svg
 
-PANELS = {
-    "fig7_cifar10": ("cifar10", NonIIDSetting("dirichlet", 0.3, 50)),
-    "fig8_stl10": ("stl10", NonIIDSetting("quantity", 2, 30)),
-}
+PANEL_NAMES = {"fig7": "fig7_cifar10", "fig8": "fig8_stl10"}
 
 
-@pytest.mark.parametrize("panel", sorted(PANELS))
-def test_fig7_fig8_method_embeddings(benchmark, results_dir, panel):
-    dataset_name, setting = PANELS[panel]
-    methods = FIGURE_METHOD_SETS["fig7"]
+@pytest.mark.parametrize("figure", sorted(PANEL_NAMES))
+def test_fig7_fig8_method_embeddings(benchmark, results_dir, figure):
     results = benchmark.pedantic(
-        compute_method_embeddings,
-        args=(methods,),
-        kwargs=dict(
-            dataset_name=dataset_name,
-            setting=setting,
-            num_embed_clients=6,
-            samples_per_client=12,
-            seed=0,
-            tsne_iterations=200,
-        ),
+        run_figure,
+        args=(figure,),
+        kwargs=dict(seed=0),
         rounds=1,
         iterations=1,
     )
-    blocks = []
-    scores = {}
+    scores = {result.method: result.feature_silhouette for result in results}
     for result in results:
-        scores[result.method] = result.feature_silhouette
-        blocks.append(ascii_scatter(
-            result.embedding, result.labels, width=64, height=16,
-            title=f"{result.method}  feat_sil={result.feature_silhouette:.4f}",
-        ))
         benchmark.extra_info[f"{result.method}_feature_silhouette"] = (
             result.feature_silhouette
         )
     ranking = sorted(scores, key=scores.get, reverse=True)
-    blocks.append("silhouette ranking: "
-                  + " > ".join(f"{m}({scores[m]:+.3f})" for m in ranking))
-    persist(results_dir, panel, "\n\n".join(blocks))
+    panel = PANEL_NAMES[figure]
+    persist(results_dir, panel,
+            format_silhouette_table(results, title=f"{panel} silhouettes")
+            + "\n\nsilhouette ranking: "
+            + " > ".join(f"{m}({scores[m]:+.3f})" for m in ranking))
+    persist_svg(results_dir, panel, render_figure_svg(figure, results))
 
     position = ranking.index("calibre-simclr")
     benchmark.extra_info["calibre_rank"] = position + 1
-    if panel == "fig8_stl10":
+    if figure == "fig8":
         # STL-10 is where the paper's SSL advantage is largest (unlabeled
         # pool); Calibre must be in the top half there.
         assert position < len(ranking) / 2, (
             f"Calibre (SimCLR) ranked {position + 1}/{len(ranking)} by "
-            f"cluster quality on {dataset_name}"
+            f"cluster quality on {panel}"
         )
     else:
         # On the fully-labeled CIFAR-10 panel, supervised body/head methods
         # also produce clustered features at this scale (EXPERIMENTS.md);
         # assert Calibre is not last.
         assert position < len(ranking) - 1, (
-            f"Calibre (SimCLR) ranked last on {dataset_name}"
+            f"Calibre (SimCLR) ranked last on {panel}"
         )

@@ -1,0 +1,69 @@
+"""Docs link check (CI guard for README.md and the docs/ tree).
+
+Scans every Markdown file in the repo root and ``docs/`` for relative
+links — ``[text](path)`` and bare ``docs/...`` references — and fails if
+any target file does not exist.  External links (``http(s)://``) and
+pure anchors (``#...``) are skipped; a ``path#anchor`` link checks only
+the file part.
+
+Usage::
+
+    python benchmarks/check_docs_links.py
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# Prose references like `docs/artifacts.md` outside Markdown links; these
+# are repo-root-relative by convention (a bare `docs/` with no file is fine).
+BARE_DOCS_PATTERN = re.compile(r"\bdocs/[A-Za-z0-9_.-]+(?:/[A-Za-z0-9_.-]+)*")
+
+
+def markdown_files():
+    yield from sorted(REPO_ROOT.glob("*.md"))
+    yield from sorted((REPO_ROOT / "docs").glob("**/*.md"))
+
+
+def check_file(path: Path) -> list:
+    broken = []
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        targets = [(target, path.parent)
+                   for target in LINK_PATTERN.findall(line)]
+        # rstrip: a sentence-ending period after a bare reference
+        # ("see docs/artifacts.md.") is punctuation, not path.
+        targets += [(target.rstrip("."), REPO_ROOT)
+                    for target in BARE_DOCS_PATTERN.findall(line)]
+        for target, base in targets:
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = (base / file_part).resolve()
+            if not resolved.exists():
+                broken.append(f"{path.relative_to(REPO_ROOT)}:{number}: "
+                              f"dead link -> {target}")
+    return broken
+
+
+def main() -> int:
+    files = list(markdown_files())
+    if not files:
+        print("FAIL: no Markdown files found", file=sys.stderr)
+        return 1
+    broken = [entry for path in files for entry in check_file(path)]
+    if broken:
+        print("\n".join(broken), file=sys.stderr)
+        print(f"FAIL: {len(broken)} dead relative link(s) across "
+              f"{len(files)} files", file=sys.stderr)
+        return 1
+    print(f"docs link check: OK ({len(files)} Markdown files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,3 +26,9 @@ def persist(results_dir: pathlib.Path, name: str, text: str) -> None:
     """Print a result block and save it to benchmarks/results/<name>.txt."""
     print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
     (results_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def persist_svg(results_dir: pathlib.Path, name: str, svg: str) -> None:
+    """Save a rendered figure to benchmarks/results/<name>.svg."""
+    (results_dir / f"{name}.svg").write_text(svg)
+    print(f"[figure saved: results/{name}.svg]")

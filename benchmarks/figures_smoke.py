@@ -1,0 +1,98 @@
+"""Figure-pipeline smoke check (CI guard for ``repro figures``).
+
+Drives the real CLI through the store-backed figure lifecycle on a tiny
+one-cell embedding grid:
+
+1. ``repro sweep --grid fig1`` executes the cell and persists an
+   embedding record (t-SNE points + silhouette metrics) in the store;
+2. ``repro figures fig1`` renders the figure purely from the store — the
+   SVG must be well-formed XML and the silhouette table must carry both
+   silhouette columns;
+3. rendering again is byte-identical (pure store read);
+4. ``repro figures fig2`` renders its per-client views from the very
+   same records (fig2 declares fig1's cells);
+5. relaunching the sweep recomputes nothing.
+
+Exits non-zero (with a diagnostic) the moment any step diverges.
+
+Usage::
+
+    python benchmarks/figures_smoke.py
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+from xml.etree import ElementTree
+
+from smoke_common import fail, run_cli, summary_counts
+
+# One cell: one cheap method, tiny federation, short t-SNE.
+GRID_ARGS = [
+    "--methods", "script-fair",
+    "--rounds", "1", "--clients", "4", "--samples", "20",
+    "--embed-clients", "3", "--embed-samples", "8", "--tsne-iterations", "30",
+]
+
+
+def check_svg(path: Path) -> str:
+    if not path.is_file():
+        fail(f"{path} was not written")
+    svg = path.read_text()
+    try:
+        ElementTree.fromstring(svg)
+    except ElementTree.ParseError as error:
+        fail(f"{path} is not well-formed XML: {error}")
+    return svg
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        store = str(Path(tmp) / "store")
+        out1 = Path(tmp) / "fig1.svg"
+        out2 = Path(tmp) / "fig2.svg"
+
+        print("== sweep the fig1 grid (1 cell)")
+        stdout = run_cli("sweep", "--quiet", "--grid", "fig1",
+                         "--runs-dir", store, *GRID_ARGS)
+        if summary_counts(stdout) != (1, 0, 0, 1):
+            fail(f"expected 1 executed cell, got:\n{stdout}")
+
+        print("== render fig1 from the store")
+        stdout = run_cli("figures", "fig1", "--store", store,
+                         "--out", str(out1), *GRID_ARGS)
+        for column in ("tsne_sil", "feat_sil"):
+            if column not in stdout:
+                fail(f"silhouette metric column '{column}' missing from "
+                     f"figure output:\n{stdout}")
+        svg = check_svg(out1)
+        if "silhouette" not in svg:
+            fail("rendered SVG carries no silhouette annotation")
+        if "script-fair" not in svg:
+            fail("rendered SVG carries no method panel title")
+
+        print("== re-render: byte-identical")
+        rerender = Path(tmp) / "fig1-again.svg"
+        run_cli("figures", "fig1", "--store", store,
+                "--out", str(rerender), *GRID_ARGS)
+        if rerender.read_text() != svg:
+            fail("re-rendered fig1 SVG differs from the first render")
+
+        print("== fig2 renders per-client views from the same records")
+        run_cli("figures", "fig2", "--store", store,
+                "--out", str(out2), *GRID_ARGS)
+        if "client" not in check_svg(out2):
+            fail("fig2 SVG carries no per-client panel")
+
+        print("== resweep: nothing recomputes")
+        stdout = run_cli("sweep", "--quiet", "--grid", "fig1",
+                         "--runs-dir", store, *GRID_ARGS)
+        if summary_counts(stdout) != (0, 1, 0, 1):
+            fail(f"resweep should skip the stored cell, got:\n{stdout}")
+
+    print("figures smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,6 @@ Usage::
 """
 
 import json
-import os
 import re
 import signal
 import subprocess
@@ -32,7 +31,7 @@ import tempfile
 import time
 from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
+from smoke_common import REPO_ROOT, cli_env, fail, run_cli
 
 ROUNDS = 60  # enough rounds that the kill always lands mid-cell
 KILL_AFTER_ROUND = 2
@@ -45,29 +44,6 @@ GRID_ARGS = [
 
 RESUME_PATTERN = re.compile(r"\[resume\] fedavg at round (\d+)/(\d+)")
 ROUND_LINE_PATTERN = re.compile(r"^\[fedavg\] round \d+/\d+ ", re.MULTILINE)
-
-
-def fail(message: str):
-    print(f"FAIL: {message}", file=sys.stderr)
-    sys.exit(1)
-
-
-def cli_env():
-    env = dict(os.environ)
-    env["PYTHONPATH"] = (str(REPO_ROOT / "src")
-                         + os.pathsep + env.get("PYTHONPATH", ""))
-    return env
-
-
-def run_cli(*args: str) -> str:
-    result = subprocess.run(
-        [sys.executable, "-m", "repro.cli", *args],
-        capture_output=True, text=True, env=cli_env(), cwd=REPO_ROOT,
-    )
-    if result.returncode != 0:
-        fail(f"repro {' '.join(args[:2])} exited {result.returncode}:\n"
-             f"{result.stdout}\n{result.stderr}")
-    return result.stdout
 
 
 def checkpoint_round(store: Path):

@@ -27,6 +27,12 @@ its table from the store alone (no retraining)::
 
     python -m repro.cli sweep --exp table1 --runs-dir runs/table1 --seeds 0 1 2
     python -m repro.cli report --exp table1 --runs-dir runs/table1 --seeds 0 1 2
+
+Sweep an embedding figure's grid (``--grid`` is an alias of ``--exp``),
+then render the figure as SVG purely from the stored records::
+
+    python -m repro.cli sweep --grid fig5 --runs-dir runs/fig5
+    python -m repro.cli figures fig5 --store runs/fig5 --out fig5.svg
 """
 
 from __future__ import annotations
@@ -43,15 +49,23 @@ from .eval import (
     format_across_seeds_table,
     format_comparison_table,
     format_series_csv,
+    format_silhouette_across_seeds,
+    format_silhouette_table,
+    render_series_svg,
     run_experiment,
 )
 from .experiments import (
+    EMBEDDING_FIGURES,
     FIG3_PANELS,
     FIG4_PANELS,
     TABLE1_SETTING,
     TABLE1_VARIANTS,
+    embeddings_sweep,
+    execute_embedding_cell,
     fig3_sweep,
     fig4_sweep,
+    figure_results_from_records,
+    render_figure_svg,
     run_fig3_panel,
     run_fig4_panel,
     run_table1,
@@ -62,26 +76,36 @@ from .experiments import (
 )
 from .experiments.settings import SCALED_CONFIG
 from .fl.execution import available_backends
+from .ioutil import atomic_write_text
 from .runs import RunStore, outcome_from_records, run_sweep, save_outcome
 
 __all__ = ["main", "build_parser"]
 
-SWEEP_EXPERIMENTS = ("table1", "fig3", "fig4")
+SWEEP_EXPERIMENTS = ("table1", "fig3", "fig4") + EMBEDDING_FIGURES
+FIGURE_CHOICES = tuple(sorted(EMBEDDING_FIGURES + ("fig3", "fig4")))
 
 
-def _add_sweep_grid_arguments(parser: argparse.ArgumentParser) -> None:
-    """Flags that *define* a sweep grid — shared by ``sweep`` and ``report``.
+def _add_sweep_grid_arguments(parser: argparse.ArgumentParser,
+                              experiment_flag: bool = True) -> None:
+    """Flags that *define* a sweep grid — shared by ``sweep``, ``report``
+    and ``figures``.
 
-    ``report`` rebuilds the same grid to know which content-hashed cells
-    to read, so any flag here that changes results must be given
-    identically to both commands.
+    ``report``/``figures`` rebuild the same grid to know which
+    content-hashed cells to read, so any flag here that changes results
+    must be given identically to every command.  ``figures`` names its
+    artifact positionally, so it skips the ``--exp`` flag.
     """
-    parser.add_argument("--exp", required=True, choices=SWEEP_EXPERIMENTS,
-                        help="which paper artifact's grid to use")
+    if experiment_flag:
+        parser.add_argument("--exp", "--grid", dest="exp", required=True,
+                            choices=SWEEP_EXPERIMENTS,
+                            help="which paper artifact's grid to use "
+                                 "(--grid is an alias)")
     parser.add_argument("--panel", type=int, default=0,
                         help="panel index for fig3 (0-3) / fig4 (0-1)")
-    parser.add_argument("--runs-dir", required=True, metavar="DIR",
-                        help="run-store directory (created on demand)")
+    parser.add_argument("--runs-dir", "--store", dest="runs_dir", required=True,
+                        metavar="DIR",
+                        help="run-store directory (created on demand by "
+                             "'sweep'; --store is an alias)")
     parser.add_argument("--seeds", type=int, nargs="+", default=[0],
                         help="seed axis of the grid (default: 0)")
     parser.add_argument("--methods", nargs="*", default=None,
@@ -94,6 +118,15 @@ def _add_sweep_grid_arguments(parser: argparse.ArgumentParser) -> None:
                         help="override samples per client (changes cell hashes)")
     parser.add_argument("--novel", type=int, default=6,
                         help="novel clients per cell (fig4 only)")
+    parser.add_argument("--embed-clients", type=int, default=None,
+                        help="clients sampled into an embedding figure "
+                             "(changes cell hashes; embedding grids only)")
+    parser.add_argument("--embed-samples", type=int, default=None,
+                        help="samples embedded per client "
+                             "(changes cell hashes; embedding grids only)")
+    parser.add_argument("--tsne-iterations", type=int, default=None,
+                        help="t-SNE gradient steps "
+                             "(changes cell hashes; embedding grids only)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -214,6 +247,24 @@ def build_parser() -> argparse.ArgumentParser:
                                     "mean per-round time) recorded in the "
                                     "store's index.jsonl")
 
+    figures_parser = sub.add_parser(
+        "figures",
+        help="render a paper figure as SVG from the run store (no retraining)",
+        description="Rebuild a figure's sweep grid, read its records from "
+                    "the run store, and write the figure as a standalone "
+                    "SVG — embedding figures (fig1/2/5-8) and the "
+                    "accuracy-fairness scatters (fig3/fig4) alike.")
+    figures_parser.add_argument("figure", choices=FIGURE_CHOICES,
+                                help="which paper figure to render")
+    _add_sweep_grid_arguments(figures_parser, experiment_flag=False)
+    figures_parser.add_argument("--seed", type=int, default=None,
+                                help="which seed's records to render "
+                                     "(default: the grid's single seed; "
+                                     "required when --seeds lists several)")
+    figures_parser.add_argument("--out", default=None, metavar="PATH",
+                                help="output SVG path (default: <figure>.svg, "
+                                     "fig3/fig4: <figure>-panel<P>.svg)")
+
     return parser
 
 
@@ -232,6 +283,9 @@ def _command_list() -> int:
         print(f"  {index}: {dataset} paper:{label} scaled:{setting.label()}")
     print("\nsweep experiments (repro sweep/report --exp ...):")
     for name in SWEEP_EXPERIMENTS:
+        print(f"  {name}")
+    print("\nrenderable figures (repro figures ...):")
+    for name in FIGURE_CHOICES:
         print(f"  {name}")
     return 0
 
@@ -288,8 +342,9 @@ def _command_run(args) -> int:
     return 0
 
 
-def _build_sweep(args):
+def _build_sweep(args, experiment: Optional[str] = None):
     """Build the (deterministic) sweep grid described by CLI flags."""
+    experiment = experiment if experiment is not None else args.exp
     if args.methods:
         unknown = [m for m in args.methods if m not in available_methods()]
         if unknown:
@@ -303,14 +358,21 @@ def _build_sweep(args):
                                              args.clients)
     config = SCALED_CONFIG.with_overrides(**overrides) if overrides else None
 
-    if args.exp == "table1":
+    if experiment in EMBEDDING_FIGURES:
+        return embeddings_sweep(
+            experiment, methods=args.methods or None, seeds=args.seeds,
+            config=config, samples_per_client=args.samples,
+            embed_clients=args.embed_clients, embed_samples=args.embed_samples,
+            tsne_iterations=args.tsne_iterations,
+        )
+    if experiment == "table1":
         setting = TABLE1_SETTING
         if args.samples is not None:
             setting = replace(setting, samples_per_client=args.samples)
         return table1_sweep(variants=args.methods or TABLE1_VARIANTS,
                             seeds=args.seeds, setting=setting, config=config)
     try:
-        if args.exp == "fig3":
+        if experiment == "fig3":
             sweep = fig3_sweep(args.panel, methods=args.methods, seeds=args.seeds,
                                config=config, samples_per_client=args.samples)
         else:
@@ -326,7 +388,7 @@ def _grid_flags(args) -> str:
     """Echo the grid-defining flags so a hinted ``repro report`` command
     rebuilds exactly the swept grid (fingerprints must match the store)."""
     parts = [f"--exp {args.exp}", f"--runs-dir {args.runs_dir}"]
-    if args.exp != "table1":
+    if args.exp in ("fig3", "fig4"):
         parts.append(f"--panel {args.panel}")
     if args.seeds != [0]:
         parts.append("--seeds " + " ".join(str(seed) for seed in args.seeds))
@@ -340,6 +402,12 @@ def _grid_flags(args) -> str:
         parts.append(f"--samples {args.samples}")
     if args.exp == "fig4" and args.novel != 6:
         parts.append(f"--novel {args.novel}")
+    if args.embed_clients is not None:
+        parts.append(f"--embed-clients {args.embed_clients}")
+    if args.embed_samples is not None:
+        parts.append(f"--embed-samples {args.embed_samples}")
+    if args.tsne_iterations is not None:
+        parts.append(f"--tsne-iterations {args.tsne_iterations}")
     return " ".join(parts)
 
 
@@ -350,16 +418,22 @@ def _command_sweep(args) -> int:
         return 2
     sweep = _build_sweep(args)
     store = RunStore(args.runs_dir)
+    executor = (execute_embedding_cell if args.exp in EMBEDDING_FIGURES
+                else None)
     summary = run_sweep(sweep, store=store, backend=args.scheduler,
                         workers=args.jobs, max_cells=args.max_cells,
                         round_checkpoints=args.round_checkpoints,
                         checkpoint_every=args.checkpoint_every,
+                        executor=executor,
                         verbose=not args.quiet)
     print(summary.describe())
     print(f"store: {store.root} ({len(store)} cells)")
     if summary.complete:
-        print(f"complete — regenerate tables anytime with: "
-              f"repro report {_grid_flags(args)}")
+        flags = _grid_flags(args)
+        print(f"complete — regenerate tables anytime with: repro report {flags}")
+        if args.exp in EMBEDDING_FIGURES:
+            print(f"render the figure with: repro figures {args.exp} "
+                  + flags.replace(f"--exp {args.exp} ", ""))
     return 0
 
 
@@ -407,8 +481,25 @@ def _across_seeds_pairs(cells, records, novel: bool = False):
     return per_method
 
 
+def _silhouette_pairs(cells, records):
+    """method → per-seed (tsne, feature) silhouettes, in grid seed order."""
+    per_method = {}
+    for key, record in zip(cells, records):
+        embedding = record.get("embedding")
+        if embedding is None:
+            continue
+        per_method.setdefault(key.method, []).append(
+            (embedding["silhouette"], embedding["feature_silhouette"]))
+    return per_method
+
+
 def _report_across_seeds(args, cells, records) -> int:
     seeds_label = f"[across seeds {' '.join(str(s) for s in args.seeds)}]"
+    if args.exp in EMBEDDING_FIGURES:
+        print(format_silhouette_across_seeds(
+            _silhouette_pairs(cells, records),
+            title=f"{args.exp} silhouettes {seeds_label}"))
+        return 0
     if args.exp == "table1":
         rows = table1_rows_across_seeds(
             cells, records, variants=args.methods or TABLE1_VARIANTS,
@@ -458,6 +549,13 @@ def _command_report(args) -> int:
         if not first:
             print()
         first = False
+        if args.exp in EMBEDDING_FIGURES:
+            results = figure_results_from_records(
+                cells, records, methods=args.methods or None, seed=seed)
+            print(format_silhouette_table(
+                results, title=_report_title(f"{args.exp} silhouettes",
+                                             seed, many_seeds)))
+            continue
         if args.exp == "table1":
             rows = table1_rows_from_records(
                 cells, records, variants=args.methods or TABLE1_VARIANTS, seed=seed)
@@ -485,6 +583,59 @@ def _command_report(args) -> int:
     return 0
 
 
+def _command_figures(args) -> int:
+    """Render one paper figure from the run store alone (no retraining)."""
+    # 'figures' renders one seed of the grid. The grid axis (--seeds) must
+    # match what was swept, so never rewrite it silently from --seed.
+    if args.seed is None:
+        if len(args.seeds) > 1:
+            print(f"--seeds lists {args.seeds}; pick one to render with "
+                  "--seed N", file=sys.stderr)
+            return 2
+        args.seed = args.seeds[0]
+    elif args.seed not in args.seeds:
+        if args.seeds == [0]:
+            # --seeds was left at its default; follow --seed.
+            args.seeds = [args.seed]
+        else:
+            print(f"--seed {args.seed} is not in the swept grid's --seeds "
+                  f"{args.seeds}", file=sys.stderr)
+            return 2
+    sweep = _build_sweep(args, experiment=args.figure)
+    try:
+        store = RunStore(args.runs_dir, create=False)
+    except FileNotFoundError as error:
+        print(error, file=sys.stderr)
+        return 1
+    cells = [key for key in sweep.cells() if key.seed == args.seed]
+    missing = store.missing(cells)
+    if missing:
+        print(f"{len(missing)} of {len(cells)} cells missing from {store.root}; "
+              f"run the sweep first (repro sweep --exp {args.figure} ...):",
+              file=sys.stderr)
+        for key in missing[:10]:
+            print(f"  {key.fingerprint}  {key.label()}", file=sys.stderr)
+        return 1
+    records = store.load_records(cells)
+    if args.figure in EMBEDDING_FIGURES:
+        results = figure_results_from_records(
+            cells, records, methods=args.methods or None, seed=args.seed)
+        svg = render_figure_svg(args.figure, results)
+        print(format_silhouette_table(results, title=f"{args.figure} silhouettes"))
+        default_out = f"{args.figure}.svg"
+    else:
+        panels = FIG3_PANELS if args.figure == "fig3" else FIG4_PANELS
+        dataset, paper_label, _setting = panels[args.panel]
+        name = f"{args.figure}-panel{args.panel} {dataset} paper:{paper_label}"
+        spec = sweep.to_experiment_spec(seed=args.seed, name=name)
+        outcome = outcome_from_records(spec, records)
+        svg = render_series_svg(outcome, title=name)
+        default_out = f"{args.figure}-panel{args.panel}.svg"
+    path = atomic_write_text(args.out or default_out, svg)
+    print(f"wrote {path}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -507,6 +658,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_sweep(args)
     if args.command == "report":
         return _command_report(args)
+    if args.command == "figures":
+        return _command_figures(args)
     return 2  # unreachable given required=True
 
 

@@ -24,6 +24,9 @@ from .reporting import (
     format_comparison_table,
     format_report_table,
     format_series_csv,
+    format_silhouette_across_seeds,
+    format_silhouette_table,
+    render_series_svg,
 )
 
 __all__ = [
@@ -49,4 +52,7 @@ __all__ = [
     "format_ablation_table",
     "format_across_seeds_table",
     "format_series_csv",
+    "render_series_svg",
+    "format_silhouette_table",
+    "format_silhouette_across_seeds",
 ]

@@ -33,7 +33,7 @@ from .registry import build_method
 
 __all__ = ["NonIIDSetting", "ExperimentSpec", "ExperimentOutcome", "run_experiment",
            "make_dataset", "make_encoder_factory", "make_partitions", "EncoderSpec",
-           "checkpoint_path_for"]
+           "checkpoint_path_for", "spec_context"]
 
 DATASET_FACTORIES = {
     "cifar10": make_cifar10_like,
@@ -184,7 +184,7 @@ def checkpoint_path_for(checkpoint_dir: Union[str, Path], method: str) -> Path:
     return Path(checkpoint_dir) / f"{safe_filename(method)}.json"
 
 
-def _spec_context(spec: ExperimentSpec, method_name: str) -> str:
+def spec_context(spec: ExperimentSpec, method_name: str) -> str:
     """The session-context fingerprint for one method of a spec.
 
     Everything that determines the method's result goes in (the same
@@ -284,7 +284,7 @@ def run_experiment(spec: ExperimentSpec, verbose: bool = False,
         )
         session = TrainingSession(algorithm, clients, spec.config,
                                   novel_clients=novel_clients, verbose=verbose,
-                                  context=_spec_context(spec, method_name))
+                                  context=spec_context(spec, method_name))
         if checkpoint_dir is not None:
             path = checkpoint_path_for(checkpoint_dir, method_name)
             if resume and path.is_file():

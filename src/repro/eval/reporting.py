@@ -1,4 +1,10 @@
-"""Text rendering of experiment outcomes: the rows/series the paper plots."""
+"""Rendering of experiment outcomes: the rows/series/figures the paper plots.
+
+Text tables and CSV series for terminals, plus the SVG renderers behind
+``repro figures`` — every renderer here is a pure function of its
+inputs, so outputs rebuilt from the run store are byte-identical to live
+runs.
+"""
 
 from __future__ import annotations
 
@@ -6,11 +12,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..viz.svg import accuracy_fairness_panel, render_accuracy_fairness_panels
 from .harness import ExperimentOutcome
 from .metrics import FairnessReport
 
 __all__ = ["format_comparison_table", "format_report_table", "format_ablation_table",
-           "format_series_csv", "format_across_seeds_table"]
+           "format_series_csv", "format_across_seeds_table", "render_series_svg",
+           "format_silhouette_table", "format_silhouette_across_seeds"]
 
 
 def format_report_table(reports: Dict[str, FairnessReport], title: str) -> str:
@@ -107,3 +115,73 @@ def format_series_csv(outcome: ExperimentOutcome, novel: bool = False) -> str:
     for entry in outcome.series(novel=novel):
         rows.append(f"{entry['method']},{entry['mean']:.6f},{entry['variance']:.8f}")
     return "\n".join(rows)
+
+
+def render_series_svg(outcome: ExperimentOutcome, title: Optional[str] = None,
+                      include_novel: bool = True) -> str:
+    """The Fig. 3/4 accuracy-fairness scatter as a standalone SVG.
+
+    One labeled point per method (mean accuracy vs. accuracy variance;
+    the paper's fair-and-accurate region is bottom-right).  When the
+    outcome carries novel-client reports and ``include_novel`` is set, a
+    second ``[novel clients]`` panel renders beside the first — the
+    Fig. 4 layout.  Deterministic: the same outcome (live or rebuilt
+    from store records) renders identical bytes.
+    """
+    panels = [accuracy_fairness_panel(outcome.series(), title="training clients")]
+    if include_novel and outcome.novel_reports:
+        panels.append(accuracy_fairness_panel(outcome.series(novel=True),
+                                              title="novel clients"))
+    header = title if title is not None else (
+        f"{outcome.spec.dataset} {outcome.spec.setting.label()}")
+    return render_accuracy_fairness_panels(panels, title=header)
+
+
+def format_silhouette_table(results: Sequence, title: str) -> str:
+    """Silhouette scores of one embedding figure, one row per method.
+
+    ``results`` are :class:`~repro.experiments.EmbeddingResult`-shaped
+    objects (``method``/``silhouette``/``feature_silhouette``/
+    ``per_client_silhouette`` attributes).  Rows keep the figure's method
+    order — the paper's claims are about *pairs* (calibrated vs. not), so
+    no resorting by score.
+    """
+    results = list(results)
+    if not results:
+        raise ValueError("no embedding results to tabulate")
+    lines = [title,
+             f"{'method':22s} {'tsne_sil':>9s} {'feat_sil':>9s} "
+             f"{'clients':>8s} {'points':>7s}"]
+    for result in results:
+        lines.append(
+            f"{result.method:22s} {result.silhouette:+9.4f} "
+            f"{result.feature_silhouette:+9.4f} "
+            f"{len(result.per_client_silhouette):8d} "
+            f"{len(result.labels):7d}"
+        )
+    return "\n".join(lines)
+
+
+def format_silhouette_across_seeds(
+    per_method: Dict[str, List[Tuple[float, float]]], title: str
+) -> str:
+    """Embedding silhouettes collapsed across seeds: mean ± std rows.
+
+    ``per_method`` maps each method to per-seed ``(tsne_silhouette,
+    feature_silhouette)`` pairs.  Stds are population stds (``ddof=0``),
+    matching :func:`format_across_seeds_table`; method order is the
+    figure's method order (insertion order of ``per_method``).
+    """
+    if not per_method:
+        raise ValueError("no methods to aggregate")
+    lines = [title,
+             f"{'method':22s} {'tsne_sil':>9s} {'±std':>8s} "
+             f"{'feat_sil':>9s} {'±std':>8s} {'seeds':>6s}"]
+    for name, pairs in per_method.items():
+        tsne = np.asarray([t for t, _ in pairs], dtype=np.float64)
+        feat = np.asarray([f for _, f in pairs], dtype=np.float64)
+        lines.append(
+            f"{name:22s} {tsne.mean():+9.4f} {tsne.std():8.4f} "
+            f"{feat.mean():+9.4f} {feat.std():8.4f} {tsne.size:6d}"
+        )
+    return "\n".join(lines)

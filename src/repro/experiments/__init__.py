@@ -1,7 +1,20 @@
 """``repro.experiments`` — per-figure/table harnesses for the paper's
 evaluation section (Figs. 1-8 and Table I)."""
 
-from .embeddings import FIGURE_METHOD_SETS, EmbeddingResult, compute_method_embeddings
+from .embeddings import (
+    EMBEDDING_FIGURES,
+    FIGURE_METHOD_SETS,
+    FIGURE_WORKLOADS,
+    EmbedParams,
+    EmbeddingResult,
+    compute_method_embeddings,
+    embedding_from_record,
+    embeddings_sweep,
+    execute_embedding_cell,
+    figure_results_from_records,
+    render_figure_svg,
+    run_figure,
+)
 from .fig3 import FIG3_PANELS, fig3_sweep, run_fig3_panel
 from .fig4 import FIG4_PANELS, fig4_sweep, run_fig4_panel
 from .settings import (
@@ -38,7 +51,16 @@ __all__ = [
     "TABLE1_SETTING",
     "compute_method_embeddings",
     "EmbeddingResult",
+    "EmbedParams",
     "FIGURE_METHOD_SETS",
+    "FIGURE_WORKLOADS",
+    "EMBEDDING_FIGURES",
+    "embeddings_sweep",
+    "execute_embedding_cell",
+    "run_figure",
+    "figure_results_from_records",
+    "embedding_from_record",
+    "render_figure_svg",
     "SCALED_CONFIG",
     "SCALED_DATASET_KWARGS",
     "COMPARISON_METHODS",

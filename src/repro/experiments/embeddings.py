@@ -1,4 +1,4 @@
-"""Embedding figures — Figs. 1, 2, 5, 6, 7, 8.
+"""Embedding figures — Figs. 1, 2, 5, 6, 7, 8 — as store-backed sweeps.
 
 Each figure in the paper is a 2-D t-SNE of encoder representations of
 local samples, colored by true class:
@@ -14,31 +14,137 @@ Because "clear vs. fuzzy boundaries" is visual in the paper, we
 additionally report the silhouette score of the embedding under true class
 labels, turning every figure into a measurable claim: calibrated methods
 must score higher than their uncalibrated counterparts.
+
+Sweep entry points
+------------------
+Every figure is one :class:`~repro.runs.SweepSpec` grid (one cell per
+method x seed, with the t-SNE/sampling knobs carried as fingerprinted
+``extras``), executed through :func:`~repro.runs.run_sweep` with
+:func:`execute_embedding_cell` as the cell executor:
+
+* :func:`embeddings_sweep` — declare a figure's grid;
+* :func:`execute_embedding_cell` — train one cell, embed, and return a
+  store record carrying both the training result and the embedding;
+* :func:`run_figure` — sweep a figure (resumably, given a store) and
+  return its :class:`EmbeddingResult` list;
+* :func:`figure_results_from_records` / :func:`embedding_from_record` —
+  rebuild results from persisted records alone (no retraining);
+* :func:`render_figure_svg` — the records-to-SVG assembly behind
+  ``repro figures``.
+
+:func:`compute_method_embeddings` remains as the ephemeral in-memory
+path (no store, shared dataset across methods) used by quick scripts.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..eval.harness import NonIIDSetting, make_partitions
+from ..eval.harness import (
+    NonIIDSetting,
+    make_dataset,
+    make_encoder_factory,
+    make_partitions,
+)
 from ..eval.registry import build_method
 from ..fl.client import build_federation
-from ..fl.server import FederatedServer
+from ..fl.session import SessionCallback, TrainingSession
 from ..manifold import silhouette_score, tsne_embed
-from .settings import scaled_spec
-from ..eval.harness import make_dataset, make_encoder_factory
+from ..runs import RunKey, SweepSpec, execute_cell, run_sweep
+from ..viz.svg import ScatterPanel, render_panels
+from .settings import CALIBRE_OVERRIDES, SCALED_CONFIG, SCALED_DATASET_KWARGS, scaled_spec
 
-__all__ = ["EmbeddingResult", "compute_method_embeddings", "FIGURE_METHOD_SETS"]
+__all__ = [
+    "EmbeddingResult",
+    "EmbedParams",
+    "FIGURE_METHOD_SETS",
+    "FIGURE_WORKLOADS",
+    "EMBEDDING_FIGURES",
+    "compute_method_embeddings",
+    "embeddings_sweep",
+    "execute_embedding_cell",
+    "run_figure",
+    "figure_results_from_records",
+    "embedding_from_record",
+    "render_figure_svg",
+]
 
 FIGURE_METHOD_SETS: Dict[str, List[str]] = {
     "fig1": ["pfl-simclr", "pfl-byol"],
+    "fig2": ["pfl-simclr", "pfl-byol"],  # fig1's methods, per-client views
     "fig5": ["pfl-simsiam", "pfl-mocov2", "calibre-simsiam", "calibre-mocov2"],
     "fig6": ["calibre-simclr", "calibre-byol"],
     "fig7": ["fedavg", "fedrep", "fedper", "fedbabu", "lg-fedavg", "calibre-simclr"],
     "fig8": ["fedavg", "fedrep", "fedper", "fedbabu", "lg-fedavg", "calibre-simclr"],
+}
+
+# Workload of each figure: (dataset, scaled non-IID setting).
+FIGURE_WORKLOADS: Dict[str, Tuple[str, NonIIDSetting]] = {
+    "fig1": ("cifar10", NonIIDSetting("dirichlet", 0.3, 50)),
+    "fig2": ("cifar10", NonIIDSetting("dirichlet", 0.3, 50)),
+    "fig5": ("cifar10", NonIIDSetting("dirichlet", 0.3, 50)),
+    "fig6": ("cifar10", NonIIDSetting("dirichlet", 0.3, 50)),
+    "fig7": ("cifar10", NonIIDSetting("dirichlet", 0.3, 50)),
+    "fig8": ("stl10", NonIIDSetting("quantity", 2, 30)),
+}
+
+EMBEDDING_FIGURES: Tuple[str, ...] = tuple(sorted(FIGURE_WORKLOADS))
+"""The figures this module can sweep and render (fig2 shares fig1's cells)."""
+
+_FIGURE_TITLES = {
+    "fig1": "Fig. 1 — pFL-SSL embeddings (fuzzy class boundaries)",
+    "fig2": "Fig. 2 — pFL-SSL embeddings within single clients",
+    "fig5": "Fig. 5 — Calibre vs uncalibrated SSL embeddings",
+    "fig6": "Fig. 6 — Calibre (SimCLR/BYOL) embeddings + per-client views",
+    "fig7": "Fig. 7 — method embeddings on CIFAR-10 (D-non-iid)",
+    "fig8": "Fig. 8 — method embeddings on STL-10 (Q-non-iid)",
+}
+
+# Figures whose paper panels zoom into single clients.
+_PER_CLIENT_FIGURES = ("fig2", "fig6")
+
+
+@dataclass(frozen=True)
+class EmbedParams:
+    """The embedding stage's knobs — everything past training that
+    determines a figure cell's record, carried (JSON-typed) in the cell
+    fingerprint via ``RunKey.extras``.
+
+    ``tsne_iterations``/``tsne_perplexity`` configure the exact t-SNE of
+    :mod:`repro.manifold.tsne`; the t-SNE seed is the cell's seed, so the
+    embedding is bit-reproducible for a fixed cell.
+    """
+
+    num_embed_clients: int = 6
+    samples_per_client: int = 15
+    tsne_iterations: int = 250
+    tsne_perplexity: float = 15.0
+
+    def to_jsonable(self) -> Dict:
+        return {
+            "num_embed_clients": int(self.num_embed_clients),
+            "samples_per_client": int(self.samples_per_client),
+            "tsne_iterations": int(self.tsne_iterations),
+            "tsne_perplexity": float(self.tsne_perplexity),
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: Dict) -> "EmbedParams":
+        return cls(
+            num_embed_clients=int(payload["num_embed_clients"]),
+            samples_per_client=int(payload["samples_per_client"]),
+            tsne_iterations=int(payload["tsne_iterations"]),
+            tsne_perplexity=float(payload["tsne_perplexity"]),
+        )
+
+
+# Figures 7/8 embed fewer samples with a shorter t-SNE (six methods/panel).
+_FIGURE_EMBED_DEFAULTS = {
+    "fig7": EmbedParams(samples_per_client=12, tsne_iterations=200),
+    "fig8": EmbedParams(samples_per_client=12, tsne_iterations=200),
 }
 
 
@@ -66,6 +172,55 @@ class EmbeddingResult:
         return "\n".join(rows)
 
 
+# ----------------------------------------------------------------------
+# Shared embedding core
+# ----------------------------------------------------------------------
+def _embed_trained_method(
+    method_name: str,
+    algorithm,
+    global_state,
+    clients: Sequence,
+    embed: EmbedParams,
+    tsne_seed: int,
+) -> EmbeddingResult:
+    """Embed a trained method's representations of several clients' samples.
+
+    Deterministic given the trained state: feature extraction is pure and
+    the t-SNE seed is explicit.
+    """
+    chosen = clients[: embed.num_embed_clients]
+    feature_blocks, label_blocks, client_blocks = [], [], []
+    for client in chosen:
+        count = min(embed.samples_per_client, len(client.train))
+        images = client.train.images[:count]
+        features = algorithm.extract_features(client, global_state, images)
+        feature_blocks.append(features)
+        label_blocks.append(client.train.labels[:count])
+        client_blocks.append(np.full(count, client.client_id))
+    features = np.concatenate(feature_blocks)
+    labels = np.concatenate(label_blocks)
+    client_ids = np.concatenate(client_blocks)
+
+    embedding = tsne_embed(features, perplexity=embed.tsne_perplexity,
+                           n_iterations=embed.tsne_iterations, seed=tsne_seed)
+    has_classes = np.unique(labels).size >= 2
+    overall = silhouette_score(embedding, labels) if has_classes else 0.0
+    feature_sil = silhouette_score(features, labels) if has_classes else 0.0
+    per_client: Dict[int, float] = {}
+    for client in chosen:
+        mask = client_ids == client.client_id
+        if np.unique(labels[mask]).size >= 2 and mask.sum() >= 5:
+            per_client[client.client_id] = silhouette_score(
+                embedding[mask], labels[mask]
+            )
+    return EmbeddingResult(
+        method=method_name, embedding=embedding, labels=labels,
+        client_ids=client_ids, silhouette=overall,
+        feature_silhouette=feature_sil,
+        per_client_silhouette=per_client,
+    )
+
+
 def compute_method_embeddings(
     methods: Sequence[str],
     dataset_name: str = "cifar10",
@@ -79,11 +234,16 @@ def compute_method_embeddings(
 ) -> List[EmbeddingResult]:
     """Train each method, embed representations of several clients' samples.
 
-    The paper collects representations from 6-10 of its 100 clients; here we
-    use ``num_embed_clients`` of the scaled federation.  Per-client
-    silhouettes (Figs. 2 and 6's single-client panels) come with each result.
+    The ephemeral in-memory path: nothing is persisted and the dataset is
+    built once and shared across methods.  For durable, resumable figure
+    artifacts use :func:`run_figure` / :func:`embeddings_sweep` instead —
+    the embedding math is shared, so for identical parameters both paths
+    produce identical results.
     """
     setting = setting if setting is not None else NonIIDSetting("dirichlet", 0.3, 50)
+    embed = EmbedParams(num_embed_clients=num_embed_clients,
+                        samples_per_client=samples_per_client,
+                        tsne_iterations=tsne_iterations)
     spec = scaled_spec(dataset_name, setting, list(methods), seed=seed, **spec_overrides)
     dataset = make_dataset(spec.dataset, seed=spec.seed, **spec.dataset_kwargs)
     partition_rng = np.random.default_rng(spec.seed + 1)
@@ -102,44 +262,294 @@ def compute_method_embeddings(
         algorithm = build_method(method_name, spec.config, dataset.num_classes,
                                  encoder_factory,
                                  **spec.method_overrides.get(method_name, {}))
-        server = FederatedServer(algorithm, clients, spec.config)
+        session = TrainingSession(algorithm, clients, spec.config)
         try:
-            global_state = server.train()
+            global_state = session.run()
         finally:
-            server.close()  # train() alone never releases the worker pool
-
-        chosen = clients[:num_embed_clients]
-        feature_blocks, label_blocks, client_blocks = [], [], []
-        for client in chosen:
-            count = min(samples_per_client, len(client.train))
-            images = client.train.images[:count]
-            features = algorithm.extract_features(client, global_state, images)
-            feature_blocks.append(features)
-            label_blocks.append(client.train.labels[:count])
-            client_blocks.append(np.full(count, client.client_id))
-        features = np.concatenate(feature_blocks)
-        labels = np.concatenate(label_blocks)
-        client_ids = np.concatenate(client_blocks)
-
-        embedding = tsne_embed(features, perplexity=15.0,
-                               n_iterations=tsne_iterations, seed=seed)
-        has_classes = np.unique(labels).size >= 2
-        overall = silhouette_score(embedding, labels) if has_classes else 0.0
-        feature_sil = silhouette_score(features, labels) if has_classes else 0.0
-        per_client: Dict[int, float] = {}
-        for client in chosen:
-            mask = client_ids == client.client_id
-            if np.unique(labels[mask]).size >= 2 and mask.sum() >= 5:
-                per_client[client.client_id] = silhouette_score(
-                    embedding[mask], labels[mask]
-                )
-        results.append(EmbeddingResult(
-            method=method_name, embedding=embedding, labels=labels,
-            client_ids=client_ids, silhouette=overall,
-            feature_silhouette=feature_sil,
-            per_client_silhouette=per_client,
-        ))
+            session.close()
+        results.append(_embed_trained_method(method_name, algorithm, global_state,
+                                             clients, embed, tsne_seed=seed))
         if verbose:
-            print(f"  {method_name:20s} tsne_sil={overall:.4f} "
-                  f"feat_sil={feature_sil:.4f}")
+            result = results[-1]
+            print(f"  {method_name:20s} tsne_sil={result.silhouette:.4f} "
+                  f"feat_sil={result.feature_silhouette:.4f}")
     return results
+
+
+# ----------------------------------------------------------------------
+# Store-backed sweeps
+# ----------------------------------------------------------------------
+def _check_figure(figure: str) -> str:
+    if figure not in FIGURE_WORKLOADS:
+        raise KeyError(f"unknown embedding figure '{figure}'; "
+                       f"available: {list(EMBEDDING_FIGURES)}")
+    return figure
+
+
+def embeddings_sweep(
+    figure: str,
+    methods: Optional[Sequence[str]] = None,
+    seeds: Sequence[int] = (0,),
+    config=None,
+    embed: Optional[EmbedParams] = None,
+    embed_clients: Optional[int] = None,
+    embed_samples: Optional[int] = None,
+    tsne_iterations: Optional[int] = None,
+    dataset_kwargs: Optional[Dict] = None,
+    method_overrides: Optional[Dict[str, Dict]] = None,
+    samples_per_client: Optional[int] = None,
+    **spec_overrides,
+) -> SweepSpec:
+    """Declare one embedding figure's grid: one cell per method (x seed).
+
+    The t-SNE/sampling knobs travel as ``extras`` on every cell, so they
+    are part of each cell's content hash — two figures differing only in
+    ``tsne_iterations`` never share records.  Fig. 2 declares exactly
+    Fig. 1's cells (same methods, workload, and extras), so sweeping
+    either figure fills the store for both; only the rendering differs.
+
+    ``samples_per_client`` scales the figure's non-i.i.d. setting down
+    (smoke/budget grids); like every result-changing knob it changes the
+    cell fingerprints.  ``embed_clients``/``embed_samples``/
+    ``tsne_iterations`` override single fields of the figure's default
+    :class:`EmbedParams` (the CLI flags) without replacing the whole
+    ``embed`` object.
+    """
+    figure = _check_figure(figure)
+    dataset, setting = FIGURE_WORKLOADS[figure]
+    if samples_per_client is not None:
+        setting = replace(setting, samples_per_client=samples_per_client)
+    if embed is None:
+        embed = _FIGURE_EMBED_DEFAULTS.get(figure, EmbedParams())
+    embed_overrides = {
+        name: value for name, value in (
+            ("num_embed_clients", embed_clients),
+            ("samples_per_client", embed_samples),
+            ("tsne_iterations", tsne_iterations),
+        ) if value is not None
+    }
+    if embed_overrides:
+        embed = replace(embed, **embed_overrides)
+    return SweepSpec(
+        name=figure,
+        methods=list(methods) if methods is not None else list(FIGURE_METHOD_SETS[figure]),
+        settings=[setting],
+        datasets=[dataset],
+        seeds=list(seeds),
+        config=config if config is not None else SCALED_CONFIG,
+        method_overrides={**CALIBRE_OVERRIDES, **(method_overrides or {})},
+        dataset_kwargs={dataset: {**SCALED_DATASET_KWARGS[dataset],
+                                  **(dataset_kwargs or {})}},
+        extras={"embed": embed.to_jsonable()},
+        **spec_overrides,
+    )
+
+
+def embed_params_of(key: RunKey) -> EmbedParams:
+    """The :class:`EmbedParams` carried by an embedding cell's extras."""
+    payload = key.extras.get("embed")
+    if payload is None:
+        raise KeyError(
+            f"cell {key.fingerprint} carries no 'embed' extras — it is a "
+            "plain training cell, not an embedding-figure cell")
+    return EmbedParams.from_jsonable(payload)
+
+
+class _EmbedOnFinalRound(SessionCallback):
+    """Capture the embedding on the final round's ``round_end`` event —
+    after the last training round commits, before personalization runs
+    (the paper's figures show pre-personalization representations)."""
+
+    def __init__(self, extract):
+        self.extract = extract
+
+    def on_round_end(self, session, event) -> None:
+        if session.round_index >= session.config.rounds:
+            self.extract(session)
+
+
+def execute_embedding_cell(key: RunKey, client_backend: Optional[str] = None,
+                           verbose: bool = False,
+                           checkpoint_dir=None,
+                           checkpoint_every: int = 1) -> Dict:
+    """Run one embedding cell end-to-end and return its store record.
+
+    Delegates the training run — federation setup, checkpoint/resume
+    semantics, ``result``/``report`` record fields — entirely to
+    :func:`~repro.runs.execute_cell`, hooking the cell's session to embed
+    the trained encoder's representations *between* training and
+    personalization; the t-SNE points, labels, client ids and silhouette
+    scores are serialized under the record's ``embedding`` key.
+    """
+    embed = embed_params_of(key)
+    captured: Dict[str, EmbeddingResult] = {}
+
+    def extract(session: TrainingSession) -> None:
+        captured["embedding"] = _embed_trained_method(
+            key.method, session.algorithm, session.global_state,
+            session.clients, embed, tsne_seed=key.seed)
+
+    def session_hook(method_name: str, session: TrainingSession) -> None:
+        if session.round_index >= session.config.rounds:
+            # Resumed from a checkpoint taken after the final round:
+            # training will not step again, so embed right away.
+            extract(session)
+        else:
+            session.add_callback(_EmbedOnFinalRound(extract))
+
+    record = execute_cell(key, client_backend=client_backend, verbose=verbose,
+                          checkpoint_dir=checkpoint_dir,
+                          checkpoint_every=checkpoint_every,
+                          session_hook=session_hook)
+    embedding = captured["embedding"]
+    record["embedding"] = _embedding_to_jsonable(embedding, embed)
+    if verbose:
+        print(f"  {key.method:20s} tsne_sil={embedding.silhouette:.4f} "
+              f"feat_sil={embedding.feature_silhouette:.4f}")
+    return record
+
+
+def _embedding_to_jsonable(result: EmbeddingResult, embed: EmbedParams) -> Dict:
+    return {
+        "params": embed.to_jsonable(),
+        "points": result.embedding.tolist(),
+        "labels": [int(label) for label in result.labels],
+        "client_ids": [int(cid) for cid in result.client_ids],
+        "silhouette": float(result.silhouette),
+        "feature_silhouette": float(result.feature_silhouette),
+        "per_client_silhouette": {str(cid): float(value) for cid, value
+                                  in sorted(result.per_client_silhouette.items())},
+    }
+
+
+def embedding_from_record(record: Dict) -> EmbeddingResult:
+    """Rebuild an :class:`EmbeddingResult` from a stored cell record.
+
+    The inverse of the serialization in :func:`execute_embedding_cell`;
+    float values round-trip exactly through JSON, so a result rebuilt
+    from the store renders byte-identical SVGs.
+    """
+    payload = record.get("embedding")
+    if payload is None:
+        raise KeyError(
+            f"record {record.get('fingerprint')} carries no embedding — "
+            "it was produced by a plain training sweep, not a figure sweep")
+    return EmbeddingResult(
+        method=record["key"]["method"],
+        embedding=np.asarray(payload["points"], dtype=np.float64),
+        labels=np.asarray(payload["labels"], dtype=int),
+        client_ids=np.asarray(payload["client_ids"], dtype=int),
+        silhouette=float(payload["silhouette"]),
+        feature_silhouette=float(payload["feature_silhouette"]),
+        per_client_silhouette={int(cid): float(value) for cid, value
+                               in payload["per_client_silhouette"].items()},
+    )
+
+
+def figure_results_from_records(
+    cells: Sequence[RunKey],
+    records: Sequence[Optional[Dict]],
+    methods: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> List[EmbeddingResult]:
+    """One :class:`EmbeddingResult` per method, from stored records alone.
+
+    ``cells``/``records`` are a figure sweep's canonical grid (as
+    returned by :func:`~repro.runs.run_sweep` or
+    :meth:`~repro.runs.RunStore.load_records`); ``methods`` defaults to
+    every method present, in grid order.  Raises if any requested
+    method's cell is missing for ``seed``.
+    """
+    by_method: Dict[str, Dict] = {}
+    order: List[str] = []
+    for key, record in zip(cells, records):
+        if key.seed != seed or record is None:
+            continue
+        if key.method not in by_method:
+            order.append(key.method)
+        by_method[key.method] = record
+    wanted = list(methods) if methods is not None else order
+    missing = [name for name in wanted if name not in by_method]
+    if missing:
+        raise KeyError(f"no stored records for methods {missing} at seed {seed}; "
+                       "run the figure sweep first (repro sweep)")
+    return [embedding_from_record(by_method[name]) for name in wanted]
+
+
+def run_figure(
+    figure: str,
+    store=None,
+    scheduler: str = "serial",
+    jobs: Optional[int] = None,
+    seed: int = 0,
+    verbose: bool = False,
+    **sweep_kwargs,
+) -> List[EmbeddingResult]:
+    """Sweep one embedding figure (resumably, given ``store``) and return
+    its per-method results.
+
+    ``store`` (a path or :class:`~repro.runs.RunStore`) makes the run
+    persistent: finished cells are skipped on relaunch and the figure is
+    afterwards renderable from the store alone via
+    :func:`figure_results_from_records` + :func:`render_figure_svg`.
+    """
+    sweep = embeddings_sweep(figure, seeds=(seed,), **sweep_kwargs)
+    summary = run_sweep(sweep, store=store, backend=scheduler, workers=jobs,
+                        executor=execute_embedding_cell, verbose=verbose)
+    return figure_results_from_records(summary.cells, summary.records,
+                                       methods=sweep.methods, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _per_client_panels(result: EmbeddingResult, max_clients: int = 2
+                       ) -> List[ScatterPanel]:
+    """Single-client zoom panels (Figs. 2/6), best-silhouette clients first."""
+    ranked = sorted(result.per_client_silhouette.items(),
+                    key=lambda item: (-item[1], item[0]))
+    panels = []
+    for client_id, sil in ranked[:max_clients]:
+        mask = result.client_ids == client_id
+        panels.append(ScatterPanel(
+            points=result.embedding[mask],
+            labels=result.labels[mask],
+            title=f"{result.method} · client {client_id}",
+            subtitle=f"silhouette {sil:+.3f}",
+        ))
+    return panels
+
+
+def render_figure_svg(figure: str, results: Sequence[EmbeddingResult],
+                      title: Optional[str] = None) -> str:
+    """Render one embedding figure from its per-method results.
+
+    One panel per method (t-SNE points colored+shaped by true class,
+    silhouette scores in the subtitle); Figs. 2 and 6 additionally get
+    per-client zoom panels.  Purely a function of ``results`` — feeding
+    it records reloaded from the store reproduces the bytes of the
+    original render.
+    """
+    figure = _check_figure(figure)
+    results = list(results)
+    if not results:
+        raise ValueError("no embedding results to render")
+    panels = []
+    if figure != "fig2":  # fig2 is the paper's single-client view only
+        panels.extend(ScatterPanel(
+            points=result.embedding,
+            labels=result.labels,
+            title=result.method,
+            subtitle=(f"silhouette {result.silhouette:+.3f} · "
+                      f"features {result.feature_silhouette:+.3f}"),
+        ) for result in results)
+    if figure in _PER_CLIENT_FIGURES:
+        for result in results:
+            panels.extend(_per_client_panels(result))
+    if not panels:
+        raise ValueError(
+            f"{figure} renders per-client panels, but no cell recorded a "
+            "per-client silhouette (too few samples or classes per client)")
+    columns = 2 if len(panels) <= 4 else 3
+    return render_panels(panels, columns=columns,
+                         title=title if title is not None else _FIGURE_TITLES[figure])

@@ -42,7 +42,20 @@ def conditional_probabilities(
     distances: np.ndarray, perplexity: float, tolerance: float = 1e-5,
     max_steps: int = 50,
 ) -> np.ndarray:
-    """Row-stochastic P with each row's perplexity matched by binary search."""
+    """Row-stochastic P with each row's perplexity matched by binary search.
+
+    Args:
+        distances: ``(n, n)`` squared pairwise distances in the input
+            space (diagonal ignored).
+        perplexity: target perplexity (effective neighbor count); must
+            be ``< n``.
+        tolerance: entropy tolerance (nats) ending each row's search.
+        max_steps: binary-search iteration cap per row.
+
+    Returns:
+        ``(n, n)`` conditional probabilities ``p(j|i)`` with a zero
+        diagonal.  Fully deterministic — no randomness is involved.
+    """
     n = distances.shape[0]
     if perplexity >= n:
         raise ValueError(f"perplexity {perplexity} must be < number of points {n}")
@@ -70,7 +83,15 @@ def conditional_probabilities(
 
 @dataclass
 class TSNE:
-    """Configured t-SNE embedder (call :meth:`fit_transform`)."""
+    """Configured t-SNE embedder (call :meth:`fit_transform`).
+
+    Determinism: the only randomness is the embedding's Gaussian
+    initialization, drawn from ``np.random.default_rng(seed)`` — with a
+    fixed ``seed`` and identical float64 inputs, :meth:`fit_transform`
+    is bit-for-bit reproducible across runs and schedulers.  That is
+    what lets the figure pipeline persist embeddings in the run store
+    and regenerate byte-identical SVGs from the records alone.
+    """
 
     n_components: int = 2
     perplexity: float = 20.0
@@ -83,6 +104,17 @@ class TSNE:
     seed: int = 0
 
     def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Embed ``x`` into ``n_components`` dimensions.
+
+        Args:
+            x: ``(n, d)`` input features, ``n >= 5``.  The effective
+                perplexity is clamped to ``(n - 1) / 3``.
+
+        Returns:
+            ``(n, n_components)`` float64 embedding, centered on the
+            origin.  Deterministic for a fixed ``seed`` (see class
+            docstring).
+        """
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2:
             raise ValueError("t-SNE expects (n, d) input")
@@ -131,7 +163,17 @@ class TSNE:
         return embedding
 
     def kl_divergence(self, x: np.ndarray, embedding: np.ndarray) -> float:
-        """KL(P || Q) of a fitted embedding (quality diagnostic)."""
+        """KL(P || Q) of a fitted embedding (quality diagnostic).
+
+        Args:
+            x: the ``(n, d)`` inputs that were embedded.
+            embedding: the ``(n, n_components)`` embedding to score.
+
+        Returns:
+            The (non-negative) KL divergence t-SNE minimizes; lower
+            means the embedding preserves the input neighborhoods
+            better.  Deterministic.
+        """
         n = x.shape[0]
         distances = _pairwise_sq_distances(np.asarray(x, dtype=np.float64))
         conditional = conditional_probabilities(distances, min(self.perplexity, (n - 1) / 3.0))
@@ -145,7 +187,18 @@ class TSNE:
 
 def tsne_embed(x: np.ndarray, perplexity: float = 20.0, n_iterations: int = 400,
                seed: int = 0) -> np.ndarray:
-    """One-call exact t-SNE to 2-D."""
+    """One-call exact t-SNE to 2-D.
+
+    Args:
+        x: ``(n, d)`` features, ``n >= 5``.
+        perplexity: target perplexity (clamped to ``(n - 1) / 3``).
+        n_iterations: gradient-descent steps.
+        seed: seeds the embedding initialization — the single source of
+            randomness, so a fixed seed makes the output bit-exact.
+
+    Returns:
+        ``(n, 2)`` float64 embedding (see :class:`TSNE`).
+    """
     return TSNE(perplexity=perplexity, n_iterations=n_iterations,
                 seed=seed).fit_transform(x)
 
@@ -154,8 +207,17 @@ def silhouette_score(points: np.ndarray, labels: np.ndarray) -> float:
     """Mean silhouette coefficient — the quantitative stand-in for the
     paper's visual "clear vs. fuzzy cluster boundaries" claims.
 
-    Returns a value in [-1, 1]; higher means tighter, better-separated
-    clusters.  Points in singleton clusters contribute 0, matching sklearn.
+    Args:
+        points: ``(n, d)`` coordinates (2-D t-SNE output or raw encoder
+            features — the figures report both).
+        labels: ``(n,)`` cluster assignment per point; at least two
+            distinct values are required.
+
+    Returns:
+        The mean silhouette coefficient in ``[-1, 1]``; higher means
+        tighter, better-separated clusters.  Points in singleton
+        clusters contribute 0, matching sklearn.  Deterministic — a pure
+        function of its inputs.
     """
     points = np.asarray(points, dtype=np.float64)
     labels = np.asarray(labels)

@@ -25,7 +25,7 @@ import shutil
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Union
 
 from ..eval.harness import run_experiment
 from ..fl.execution import resolve_backend
@@ -96,6 +96,13 @@ class _CellTask:
     ``map_clients`` returns) is what gives crash resumability its
     granularity: the store reflects every completed cell the moment it
     finishes, on every backend including serial.
+
+    ``executor`` is the cell-execution function (default
+    :func:`execute_cell`); alternative executors — the embedding figures'
+    :func:`~repro.experiments.embeddings.execute_embedding_cell` — must
+    be module-level callables (picklable for the process scheduler) with
+    the same signature and must return a record carrying at least
+    ``fingerprint``, ``result`` and ``report``.
     """
 
     store_root: Optional[str]
@@ -103,6 +110,7 @@ class _CellTask:
     verbose: bool = False
     round_checkpoints: bool = False
     checkpoint_every: int = 1
+    executor: Callable[..., Dict] = execute_cell
 
     def __call__(self, key: RunKey) -> Dict:
         checkpoint_dir = None
@@ -111,10 +119,10 @@ class _CellTask:
             checkpoint_dir = cell_checkpoint_dir(self.store_root, key)
             resumed_mid_cell = any(checkpoint_dir.glob("*.json"))
         started = time.perf_counter()
-        record = execute_cell(key, client_backend=self.client_backend,
-                              verbose=self.verbose,
-                              checkpoint_dir=checkpoint_dir,
-                              checkpoint_every=self.checkpoint_every)
+        record = self.executor(key, client_backend=self.client_backend,
+                               verbose=self.verbose,
+                               checkpoint_dir=checkpoint_dir,
+                               checkpoint_every=self.checkpoint_every)
         elapsed = time.perf_counter() - started
         if self.store_root is not None:
             # A cell resumed from a mid-run checkpoint only recomputed its
@@ -169,6 +177,7 @@ def run_sweep(sweep: SweepSpec,
               client_backend: Optional[str] = None,
               round_checkpoints: bool = False,
               checkpoint_every: int = 1,
+              executor: Optional[Callable[..., Dict]] = None,
               verbose: bool = False) -> SweepSummary:
     """Run every pending cell of ``sweep``, resuming from ``store``.
 
@@ -190,6 +199,14 @@ def run_sweep(sweep: SweepSpec,
     are identical with the flag on or off.  ``checkpoint_every`` thins
     the writes (checkpoint after every k-th round) when per-round
     serialization costs more than k rounds of recompute are worth.
+
+    ``executor`` swaps the per-cell execution function (default:
+    :func:`execute_cell`, a plain training run).  It must be a
+    module-level callable (picklable) accepting ``(key, client_backend=,
+    verbose=, checkpoint_dir=, checkpoint_every=)`` and returning a cell
+    record with at least ``fingerprint``/``result``/``report`` — the
+    embedding figures use this seam to persist t-SNE payloads alongside
+    the training result.
     """
     if store is not None and not isinstance(store, RunStore):
         store = RunStore(store)
@@ -227,7 +244,8 @@ def run_sweep(sweep: SweepSpec,
     task = _CellTask(store_root=str(store.root) if store is not None else None,
                      client_backend=inner, verbose=verbose,
                      round_checkpoints=round_checkpoints,
-                     checkpoint_every=checkpoint_every)
+                     checkpoint_every=checkpoint_every,
+                     executor=executor if executor is not None else execute_cell)
     try:
         new_records = engine.map_clients(task, pending)
     finally:

@@ -47,6 +47,13 @@ class RunKey:
     ``overrides`` are the method's fully-merged keyword overrides (base
     sweep overrides + variant overrides); ``variant`` is the cosmetic
     label of the override point that produced them.
+
+    ``extras`` carries executor-specific parameters that change the
+    cell's *record* without changing the training run — the embedding
+    figures put their t-SNE/sampling knobs here.  Extras are part of the
+    fingerprint (two cells with different extras are different work),
+    but an empty dict is omitted from the hashed payload so plain
+    training cells keep the fingerprints they have always had.
     """
 
     dataset: str
@@ -60,15 +67,17 @@ class RunKey:
     encoder_width: int = 8
     encoder_hidden_dims: Tuple[int, ...] = (64, 32)
     dataset_kwargs: Dict = field(default_factory=dict)
+    extras: Dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def semantic_payload(self) -> Dict:
         """Everything that determines the cell's result, JSON-typed.
 
         Execution knobs and the variant label are deliberately absent —
-        see the module docstring.
+        see the module docstring.  ``extras`` appears only when
+        non-empty, so pre-existing stores stay addressable.
         """
-        return {
+        payload = {
             "dataset": self.dataset,
             "setting": setting_to_jsonable(self.setting),
             "method": self.method,
@@ -80,6 +89,9 @@ class RunKey:
             "encoder_hidden_dims": [int(dim) for dim in self.encoder_hidden_dims],
             "dataset_kwargs": to_jsonable(self.dataset_kwargs),
         }
+        if self.extras:
+            payload["extras"] = to_jsonable(self.extras)
+        return payload
 
     @property
     def fingerprint(self) -> str:
@@ -112,6 +124,7 @@ class RunKey:
             encoder_width=int(payload.get("encoder_width", 8)),
             encoder_hidden_dims=tuple(payload.get("encoder_hidden_dims", (64, 32))),
             dataset_kwargs=dict(payload.get("dataset_kwargs", {})),
+            extras=dict(payload.get("extras", {})),
         )
 
     def to_spec(self) -> ExperimentSpec:
@@ -167,6 +180,7 @@ class SweepSpec:
     encoder: str = "mlp"
     encoder_width: int = 8
     encoder_hidden_dims: Sequence[int] = (64, 32)
+    extras: Dict = field(default_factory=dict)
 
     def __post_init__(self):
         self.methods = list(self.methods)
@@ -226,6 +240,7 @@ class SweepSpec:
                                 encoder_width=self.encoder_width,
                                 encoder_hidden_dims=tuple(self.encoder_hidden_dims),
                                 dataset_kwargs=kwargs,
+                                extras=dict(self.extras),
                             ))
         return keys
 
@@ -274,7 +289,7 @@ class SweepSpec:
         )
 
     def to_jsonable(self) -> Dict:
-        return {
+        payload = {
             "name": self.name,
             "methods": list(self.methods),
             "datasets": list(self.datasets),
@@ -290,3 +305,6 @@ class SweepSpec:
             "encoder_hidden_dims": [int(d) for d in self.encoder_hidden_dims],
             "fingerprints": [key.fingerprint for key in self.cells()],
         }
+        if self.extras:
+            payload["extras"] = to_jsonable(self.extras)
+        return payload

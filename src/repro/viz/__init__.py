@@ -1,5 +1,33 @@
-"""``repro.viz`` — ASCII scatter plots and CSV dumps for the figures."""
+"""``repro.viz`` — figure rendering without plotting dependencies.
+
+Two renderers share the figure data:
+
+* :mod:`repro.viz.svg` — standalone SVG documents (the ``repro figures``
+  output format): multi-panel t-SNE grids, class legends, and the
+  accuracy-fairness scatters;
+* :mod:`repro.viz.scatter` — ASCII scatters and CSV dumps for terminals
+  and logs.
+
+Both are deterministic: identical inputs render identical bytes.
+"""
 
 from .scatter import ascii_scatter, points_to_csv
+from .svg import (
+    CLASS_COLORS,
+    ScatterPanel,
+    render_accuracy_fairness,
+    render_panels,
+    render_scatter,
+    svg_escape,
+)
 
-__all__ = ["ascii_scatter", "points_to_csv"]
+__all__ = [
+    "ascii_scatter",
+    "points_to_csv",
+    "CLASS_COLORS",
+    "ScatterPanel",
+    "render_panels",
+    "render_scatter",
+    "render_accuracy_fairness",
+    "svg_escape",
+]

@@ -23,7 +23,23 @@ def ascii_scatter(
     height: int = 24,
     title: str = "",
 ) -> str:
-    """Render (n, 2) points as an ASCII grid; label ids become glyphs."""
+    """Render (n, 2) points as an ASCII grid; label ids become glyphs.
+
+    Args:
+        points: ``(n, 2)`` array of 2-D coordinates (any float range —
+            the grid is normalized to the data's bounding box).
+        labels: optional per-point integer class ids; each id maps to a
+            glyph (``0-9a-z``, cycling); negative ids render as ``.``.
+            ``None`` plots every point as glyph ``0``.
+        width/height: character-grid size (minimum 8 x 4).
+        title: optional line printed above the frame.
+
+    Returns:
+        The framed grid as one newline-joined string.  Rendering is
+        deterministic — identical inputs produce identical text — and
+        points landing on the same cell keep the last-drawn glyph
+        (input order).
+    """
     points = np.asarray(points, dtype=np.float64)
     if points.ndim != 2 or points.shape[1] != 2:
         raise ValueError("points must be (n, 2)")
@@ -49,7 +65,20 @@ def ascii_scatter(
 
 def points_to_csv(points: np.ndarray, labels: Optional[np.ndarray] = None,
                   extra: Optional[dict] = None) -> str:
-    """CSV dump of points (+ labels, + extra per-point columns)."""
+    """CSV dump of points (+ labels, + extra per-point columns).
+
+    Args:
+        points: ``(n, 2)`` coordinates; written as ``x,y`` with 5
+            decimals (fixed precision keeps re-dumps byte-identical).
+        labels: optional per-point values for a ``label`` column.
+        extra: optional ``{column_name: values}`` of additional
+            per-point columns, each of length ``n``; floats render with
+            5 decimals, everything else via ``str``.
+
+    Returns:
+        The CSV text (header row first), newline-joined, no trailing
+        newline.
+    """
     points = np.asarray(points, dtype=np.float64)
     if points.ndim != 2 or points.shape[1] != 2:
         raise ValueError("points must be (n, 2)")

@@ -1,0 +1,466 @@
+"""Dependency-free SVG rendering of the paper's figures.
+
+This module draws every visual artifact of the reproduction — the t-SNE
+embedding panels of Figs. 1/2/5-8 and the accuracy-fairness scatters of
+Figs. 3/4 — as standalone SVG documents, using nothing beyond numpy and
+string formatting.  It is the rendering half of the store-backed figure
+pipeline: ``repro figures`` feeds it records read from a
+:class:`~repro.runs.RunStore` and writes the returned markup to disk.
+
+Determinism contract
+--------------------
+Rendering is a pure function of its inputs: no timestamps, no random
+ids, fixed-precision coordinate formatting (2 decimals), and all
+iteration in sorted class order — so the same records always produce
+byte-identical SVG files, and figure regeneration can be diffed.
+
+Accessibility
+-------------
+Class identity is double-encoded (hue *and* marker shape), every figure
+with ≥ 2 classes or series carries a legend, and the categorical hue
+order below was chosen by running the palette validator: all ten slots
+clear the lightness band, chroma floor, adjacent-pair CVD separation
+(worst ΔE 9.1) and normal-vision floor on the light surface.  Text is
+always ink-colored, never series-colored.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "CLASS_COLORS",
+    "SERIES_COLORS",
+    "SERIES_GROUP_NAMES",
+    "ScatterPanel",
+    "svg_escape",
+    "render_panels",
+    "render_scatter",
+    "accuracy_fairness_panel",
+    "render_accuracy_fairness",
+    "render_accuracy_fairness_panels",
+]
+
+# Categorical hues, validated as a 10-slot ordering (see module docstring).
+CLASS_COLORS = (
+    "#2a78d6",  # blue
+    "#eb6834",  # orange
+    "#1baf7a",  # aqua
+    "#eda100",  # yellow
+    "#4a3aa7",  # violet
+    "#9a6a00",  # ochre
+    "#e87ba4",  # magenta
+    "#008300",  # green
+    "#0e9bb8",  # cyan
+    "#e34948",  # red
+)
+
+# The first three slots validate all-pairs and are reserved for series
+# grouping in the accuracy-fairness scatters (baselines / Calibre / pFL-SSL).
+SERIES_COLORS = CLASS_COLORS[:3]
+
+_SURFACE = "#fcfcfb"
+_INK = "#0b0b0b"
+_INK_SECONDARY = "#52514e"
+_GRID = "#e7e6e3"
+_FRAME = "#d5d4d0"
+_FONT = "sans-serif"
+
+# Marker shapes cycled per class — the secondary (non-color) encoding.
+_SHAPES = ("circle", "square", "triangle", "diamond")
+
+
+def svg_escape(text: str) -> str:
+    """Escape ``text`` for use in SVG/XML content and attribute values."""
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+def _fmt(value: float) -> str:
+    """Fixed-precision coordinate formatting (the determinism contract)."""
+    return f"{float(value):.2f}"
+
+
+def _marker(shape: str, cx: float, cy: float, r: float, fill: str) -> str:
+    """One data marker at (cx, cy); ``shape`` is one of ``_SHAPES``."""
+    if shape == "circle":
+        return (f'<circle cx="{_fmt(cx)}" cy="{_fmt(cy)}" r="{_fmt(r)}" '
+                f'fill="{fill}"/>')
+    if shape == "square":
+        side = r * 1.8
+        return (f'<rect x="{_fmt(cx - side / 2)}" y="{_fmt(cy - side / 2)}" '
+                f'width="{_fmt(side)}" height="{_fmt(side)}" fill="{fill}"/>')
+    if shape == "triangle":
+        h = r * 1.2
+        points = (f"{_fmt(cx)},{_fmt(cy - h)} {_fmt(cx - h)},{_fmt(cy + h)} "
+                  f"{_fmt(cx + h)},{_fmt(cy + h)}")
+        return f'<polygon points="{points}" fill="{fill}"/>'
+    if shape == "diamond":
+        h = r * 1.4
+        points = (f"{_fmt(cx)},{_fmt(cy - h)} {_fmt(cx + h)},{_fmt(cy)} "
+                  f"{_fmt(cx)},{_fmt(cy + h)} {_fmt(cx - h)},{_fmt(cy)}")
+        return f'<polygon points="{points}" fill="{fill}"/>'
+    raise ValueError(f"unknown marker shape '{shape}'")
+
+
+def class_style(class_id: int) -> Tuple[str, str]:
+    """(hex color, marker shape) for a class id — hue and shape cycle at
+    different periods, so nearby ids never share both."""
+    class_id = int(class_id)
+    return (CLASS_COLORS[class_id % len(CLASS_COLORS)],
+            _SHAPES[class_id % len(_SHAPES)])
+
+
+def _nice_ticks(lo: float, hi: float, target: int = 4) -> List[float]:
+    """~``target`` round tick positions covering [lo, hi] (deterministic)."""
+    if not math.isfinite(lo) or not math.isfinite(hi):
+        return []
+    if hi <= lo:
+        return [lo]
+    raw = (hi - lo) / max(target, 1)
+    magnitude = 10.0 ** math.floor(math.log10(raw))
+    step = next(m * magnitude for m in (1.0, 2.0, 2.5, 5.0, 10.0)
+                if m * magnitude >= raw)
+    first = math.ceil(lo / step) * step
+    ticks = []
+    value = first
+    while value <= hi + 1e-12:
+        ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+def _fmt_tick(value: float) -> str:
+    return f"{value:.6g}"
+
+
+@dataclass
+class ScatterPanel:
+    """One scatter panel of a figure.
+
+    ``points`` is (n, 2); ``labels`` assigns each point a class id that
+    picks its hue *and* marker shape.  ``point_names`` (optional, same
+    length as points) adds a direct text label beside each point — used
+    by the accuracy-fairness panels where every point is a method.  With
+    ``axes=True`` the panel draws tick marks, tick labels and a
+    recessive grid (data coordinates are meaningful); without, only a
+    frame is drawn (t-SNE coordinates carry no units).
+    """
+
+    points: np.ndarray
+    labels: Optional[np.ndarray] = None
+    title: str = ""
+    subtitle: str = ""
+    point_names: Optional[Sequence[str]] = None
+    axes: bool = False
+    x_label: str = ""
+    y_label: str = ""
+    marker_radius: float = 3.0
+
+    def __post_init__(self):
+        self.points = np.asarray(self.points, dtype=np.float64)
+        if self.points.ndim != 2 or self.points.shape[1] != 2:
+            raise ValueError("points must be (n, 2)")
+        if self.points.shape[0] == 0:
+            raise ValueError("panel has no points")
+        self.labels = (np.zeros(self.points.shape[0], dtype=int)
+                       if self.labels is None
+                       else np.asarray(self.labels, dtype=int))
+        if self.labels.shape[0] != self.points.shape[0]:
+            raise ValueError("labels length must match points")
+        if (self.point_names is not None
+                and len(self.point_names) != self.points.shape[0]):
+            raise ValueError("point_names length must match points")
+
+
+@dataclass
+class _Box:
+    """Pixel-space rectangle a panel draws into."""
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+
+def _data_ranges(points: np.ndarray, pad_fraction: float = 0.06
+                 ) -> Tuple[float, float, float, float]:
+    mins = points.min(axis=0)
+    maxs = points.max(axis=0)
+    spans = np.maximum(maxs - mins, 1e-9)
+    pad = spans * pad_fraction
+    return (mins[0] - pad[0], maxs[0] + pad[0],
+            mins[1] - pad[1], maxs[1] + pad[1])
+
+
+def _render_panel(panel: ScatterPanel, box: _Box) -> List[str]:
+    """Render one panel into its pixel box; returns SVG fragments."""
+    parts = [f'<g class="panel" transform="translate({_fmt(box.x)},{_fmt(box.y)})">']
+    header = 0.0
+    if panel.title:
+        header += 14.0
+        parts.append(f'<text x="0" y="{_fmt(header - 3)}" font-size="11" '
+                     f'font-weight="600" fill="{_INK}">'
+                     f"{svg_escape(panel.title)}</text>")
+    if panel.subtitle:
+        header += 12.0
+        parts.append(f'<text x="0" y="{_fmt(header - 3)}" font-size="10" '
+                     f'fill="{_INK_SECONDARY}">'
+                     f"{svg_escape(panel.subtitle)}</text>")
+    left = 40.0 if panel.axes else 0.0
+    bottom = 28.0 if panel.axes else 0.0
+    plot = _Box(left, header + 4, box.width - left, box.height - header - 4 - bottom)
+    x_lo, x_hi, y_lo, y_hi = _data_ranges(panel.points)
+
+    def to_px(x: float, y: float) -> Tuple[float, float]:
+        px = plot.x + (x - x_lo) / (x_hi - x_lo) * plot.width
+        py = plot.y + (1.0 - (y - y_lo) / (y_hi - y_lo)) * plot.height
+        return px, py
+
+    if panel.axes:
+        for tick in _nice_ticks(x_lo, x_hi):
+            px, _ = to_px(tick, y_lo)
+            parts.append(f'<line x1="{_fmt(px)}" y1="{_fmt(plot.y)}" '
+                         f'x2="{_fmt(px)}" y2="{_fmt(plot.y + plot.height)}" '
+                         f'stroke="{_GRID}" stroke-width="1"/>')
+            parts.append(f'<text x="{_fmt(px)}" y="{_fmt(plot.y + plot.height + 13)}" '
+                         f'font-size="9" text-anchor="middle" '
+                         f'fill="{_INK_SECONDARY}">{_fmt_tick(tick)}</text>')
+        for tick in _nice_ticks(y_lo, y_hi):
+            _, py = to_px(x_lo, tick)
+            parts.append(f'<line x1="{_fmt(plot.x)}" y1="{_fmt(py)}" '
+                         f'x2="{_fmt(plot.x + plot.width)}" y2="{_fmt(py)}" '
+                         f'stroke="{_GRID}" stroke-width="1"/>')
+            parts.append(f'<text x="{_fmt(plot.x - 4)}" y="{_fmt(py + 3)}" '
+                         f'font-size="9" text-anchor="end" '
+                         f'fill="{_INK_SECONDARY}">{_fmt_tick(tick)}</text>')
+        if panel.x_label:
+            parts.append(f'<text x="{_fmt(plot.x + plot.width / 2)}" '
+                         f'y="{_fmt(plot.y + plot.height + 25)}" font-size="10" '
+                         f'text-anchor="middle" fill="{_INK_SECONDARY}">'
+                         f"{svg_escape(panel.x_label)}</text>")
+        if panel.y_label:
+            cx, cy = plot.x - 30, plot.y + plot.height / 2
+            parts.append(f'<text x="{_fmt(cx)}" y="{_fmt(cy)}" font-size="10" '
+                         f'text-anchor="middle" fill="{_INK_SECONDARY}" '
+                         f'transform="rotate(-90 {_fmt(cx)} {_fmt(cy)})">'
+                         f"{svg_escape(panel.y_label)}</text>")
+    parts.append(f'<rect x="{_fmt(plot.x)}" y="{_fmt(plot.y)}" '
+                 f'width="{_fmt(plot.width)}" height="{_fmt(plot.height)}" '
+                 f'fill="none" stroke="{_FRAME}" stroke-width="1"/>')
+
+    for i in range(panel.points.shape[0]):
+        px, py = to_px(panel.points[i, 0], panel.points[i, 1])
+        color, shape = class_style(int(panel.labels[i]))
+        parts.append(_marker(shape, px, py, panel.marker_radius, color))
+
+    if panel.point_names is not None:
+        parts.extend(_direct_labels(panel, to_px, plot))
+    parts.append("</g>")
+    return parts
+
+
+def _direct_labels(panel: ScatterPanel, to_px, plot: _Box) -> List[str]:
+    """Direct text labels beside named points, greedily nudged downward so
+    labels never overprint each other (deterministic: placement order is
+    by ascending pixel y, then x, then name)."""
+    order = sorted(
+        range(panel.points.shape[0]),
+        key=lambda i: (to_px(*panel.points[i])[1], to_px(*panel.points[i])[0],
+                       str(panel.point_names[i])),
+    )
+    placed: List[Tuple[float, float, float]] = []  # (x_start, x_end, y)
+    parts: List[str] = []
+    for i in order:
+        name = str(panel.point_names[i])
+        px, py = to_px(panel.points[i, 0], panel.points[i, 1])
+        width = 5.4 * len(name)
+        lx = px + panel.marker_radius + 3
+        if lx + width > plot.x + plot.width:  # flip left at the right edge
+            lx = px - panel.marker_radius - 3 - width
+        ly = py + 3
+        while any(not (lx + width < ox_start or lx > ox_end)
+                  and abs(ly - oy) < 10 for ox_start, ox_end, oy in placed):
+            ly += 10.0
+        placed.append((lx, lx + width, ly))
+        parts.append(f'<text x="{_fmt(lx)}" y="{_fmt(ly)}" font-size="9" '
+                     f'fill="{_INK}">{svg_escape(name)}</text>')
+    return parts
+
+
+def _legend(items: Sequence[Tuple[int, str]], width: float, y: float
+            ) -> Tuple[List[str], float]:
+    """A wrapping legend row of (class id, label) swatches; returns the
+    fragments and the total legend height."""
+    parts: List[str] = []
+    x, row_y = 16.0, y
+    row_height = 16.0
+    for class_id, label in items:
+        item_width = 18.0 + 5.8 * len(label)
+        if x + item_width > width - 8 and x > 16.0:
+            x, row_y = 16.0, row_y + row_height
+        color, shape = class_style(class_id)
+        parts.append(_marker(shape, x + 4, row_y + 5, 3.5, color))
+        parts.append(f'<text x="{_fmt(x + 12)}" y="{_fmt(row_y + 9)}" '
+                     f'font-size="10" fill="{_INK_SECONDARY}">'
+                     f"{svg_escape(label)}</text>")
+        x += item_width
+    return parts, row_y + row_height - y
+
+
+def render_panels(
+    panels: Sequence[ScatterPanel],
+    columns: Optional[int] = None,
+    class_names: Optional[Dict[int, str]] = None,
+    title: str = "",
+    panel_width: float = 250.0,
+    panel_height: float = 230.0,
+    legend: bool = True,
+) -> str:
+    """Render a grid of scatter panels as one standalone SVG document.
+
+    ``columns`` defaults to ``min(len(panels), 3)``.  With ``legend``
+    (the default) a shared class legend is rendered under the grid; the
+    class ids come from the union of all panels' labels, sorted, and
+    ``class_names`` may map ids to display names (default ``class <id>``).
+    The output is deterministic — see the module docstring.
+    """
+    panels = list(panels)
+    if not panels:
+        raise ValueError("no panels to render")
+    if columns is None:
+        columns = min(len(panels), 3)
+    if columns < 1:
+        raise ValueError("columns must be >= 1")
+    rows = (len(panels) + columns - 1) // columns
+    margin, gap = 16.0, 12.0
+    header = 26.0 if title else 0.0
+    width = margin * 2 + columns * panel_width + (columns - 1) * gap
+
+    body: List[str] = []
+    if title:
+        body.append(f'<text x="{_fmt(margin)}" y="18" font-size="13" '
+                    f'font-weight="600" fill="{_INK}">{svg_escape(title)}</text>')
+    for index, panel in enumerate(panels):
+        row, col = divmod(index, columns)
+        box = _Box(margin + col * (panel_width + gap),
+                   header + margin / 2 + row * (panel_height + gap),
+                   panel_width, panel_height)
+        body.extend(_render_panel(panel, box))
+
+    grid_bottom = header + margin / 2 + rows * panel_height + (rows - 1) * gap
+    legend_height = 0.0
+    if legend:
+        class_ids = sorted({int(label) for panel in panels
+                            for label in np.unique(panel.labels)})
+        if class_ids:
+            names = class_names or {}
+            items = [(cid, names.get(cid, f"class {cid}")) for cid in class_ids]
+            fragments, legend_height = _legend(items, width, grid_bottom + 10)
+            body.extend(fragments)
+            legend_height += 10.0
+    height = grid_bottom + legend_height + margin / 2
+
+    return "\n".join([
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_fmt(width)}" '
+        f'height="{_fmt(height)}" viewBox="0 0 {_fmt(width)} {_fmt(height)}" '
+        f'font-family="{_FONT}">',
+        f'<rect width="{_fmt(width)}" height="{_fmt(height)}" fill="{_SURFACE}"/>',
+        *body,
+        "</svg>",
+    ]) + "\n"
+
+
+def render_scatter(points: np.ndarray, labels: Optional[np.ndarray] = None,
+                   title: str = "", subtitle: str = "", **kwargs) -> str:
+    """One-panel convenience wrapper over :func:`render_panels`."""
+    panel = ScatterPanel(points=points, labels=labels, title=title,
+                         subtitle=subtitle)
+    return render_panels([panel], columns=1, **kwargs)
+
+
+def _series_group(method: str) -> int:
+    """Series-color slot for a method name (0 baseline, 1 Calibre, 2 pFL-SSL).
+
+    Only the first three categorical slots are used here — they are the
+    ones validated under the all-pairs rule that scatter charts need."""
+    if method.startswith("calibre-"):
+        return 1
+    if method.startswith("pfl-"):
+        return 2
+    return 0
+
+
+SERIES_GROUP_NAMES = {0: "baselines", 1: "Calibre", 2: "pFL-SSL"}
+
+
+def accuracy_fairness_panel(
+    series: Sequence[Dict],
+    title: str = "",
+    subtitle: str = "",
+    x_label: str = "mean accuracy",
+    y_label: str = "accuracy variance",
+) -> ScatterPanel:
+    """One Fig. 3/4-style panel: a labeled point per method, mean vs.
+    variance.
+
+    ``series`` rows need ``method``/``mean``/``variance`` keys (the shape
+    of :meth:`~repro.eval.harness.ExperimentOutcome.series`).  Methods
+    are grouped into baselines / Calibre / pFL-SSL, colored with the
+    three all-pairs-validated categorical slots, and every point carries
+    a direct method label (the relief for low-contrast hues).  Rows are
+    sorted by method name, so rendering is independent of dict order.
+    Compose panels with :func:`render_panels`, passing
+    :data:`SERIES_GROUP_NAMES` entries as ``class_names``.
+    """
+    rows = sorted(series, key=lambda row: str(row["method"]))
+    if not rows:
+        raise ValueError("no series rows to plot")
+    points = np.asarray([[float(row["mean"]), float(row["variance"])]
+                         for row in rows])
+    labels = np.asarray([_series_group(str(row["method"])) for row in rows])
+    names = [str(row["method"]) for row in rows]
+    return ScatterPanel(points=points, labels=labels, point_names=names,
+                        title=title, subtitle=subtitle,
+                        axes=True, x_label=x_label, y_label=y_label,
+                        marker_radius=4.0)
+
+
+def render_accuracy_fairness_panels(
+    panels: Sequence[ScatterPanel],
+    title: str = "",
+    panel_width: float = 540.0,
+    panel_height: float = 380.0,
+) -> str:
+    """Compose :func:`accuracy_fairness_panel` panels side by side into
+    one SVG document with the shared series-group legend (the Fig. 4
+    layout: training clients beside novel clients)."""
+    groups = sorted({int(label) for panel in panels
+                     for label in np.unique(panel.labels)})
+    return render_panels(
+        panels, columns=len(panels), title=title,
+        class_names={gid: SERIES_GROUP_NAMES[gid] for gid in groups},
+        panel_width=panel_width, panel_height=panel_height,
+    )
+
+
+def render_accuracy_fairness(
+    series: Sequence[Dict],
+    title: str = "",
+    x_label: str = "mean accuracy",
+    y_label: str = "accuracy variance",
+    panel_width: float = 540.0,
+    panel_height: float = 380.0,
+) -> str:
+    """A standalone one-panel accuracy-fairness SVG (see
+    :func:`accuracy_fairness_panel`).  The fair-and-accurate region of
+    the paper's claim is the bottom-right: high mean, low variance."""
+    panel = accuracy_fairness_panel(series, x_label=x_label, y_label=y_label)
+    return render_accuracy_fairness_panels(
+        [panel], title=title,
+        panel_width=panel_width, panel_height=panel_height,
+    )

@@ -112,6 +112,8 @@ class TestEmbeddingHarness:
         assert csv.splitlines()[0] == "x,y,label,client"
 
     def test_figure_method_sets(self):
-        assert set(FIGURE_METHOD_SETS) == {"fig1", "fig5", "fig6", "fig7", "fig8"}
+        assert set(FIGURE_METHOD_SETS) == {"fig1", "fig2", "fig5", "fig6",
+                                           "fig7", "fig8"}
         assert FIGURE_METHOD_SETS["fig1"] == ["pfl-simclr", "pfl-byol"]
+        assert FIGURE_METHOD_SETS["fig2"] == FIGURE_METHOD_SETS["fig1"]
         assert "calibre-simclr" in FIGURE_METHOD_SETS["fig7"]

@@ -154,3 +154,121 @@ class TestSweepCommands:
         assert "[resume] fedavg at round 2/2" in second
         # The resumed run skips training but lands on the same table.
         assert first.splitlines()[-1] == second.splitlines()[-1]
+
+
+TINY_FIGURE_ARGS = [
+    "--methods", "script-fair", "--rounds", "1", "--clients", "4",
+    "--samples", "20", "--embed-clients", "3", "--embed-samples", "8",
+    "--tsne-iterations", "30",
+]
+
+
+class TestFiguresCommands:
+    def test_figures_requires_known_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "fig9", "--store", "x"])
+
+    def test_grid_is_an_exp_alias(self):
+        args = build_parser().parse_args(
+            ["sweep", "--grid", "fig1", "--runs-dir", "x"])
+        assert args.exp == "fig1"
+
+    def test_store_is_a_runs_dir_alias(self):
+        args = build_parser().parse_args(
+            ["figures", "fig5", "--store", "somewhere"])
+        assert args.runs_dir == "somewhere"
+
+    def test_figure_sweep_then_render_from_store(self, capsys, tmp_path):
+        from xml.etree import ElementTree
+
+        runs_dir = str(tmp_path / "store")
+        out_path = tmp_path / "fig1.svg"
+        base = ["--runs-dir", runs_dir] + TINY_FIGURE_ARGS
+
+        assert main(["sweep", "--quiet", "--grid", "fig1"] + base) == 0
+        sweep_out = capsys.readouterr().out
+        assert "executed=1" in sweep_out
+        assert "repro figures fig1" in sweep_out  # the render hint
+
+        assert main(["figures", "fig1", "--out", str(out_path)] + base) == 0
+        render_out = capsys.readouterr().out
+        assert "fig1 silhouettes" in render_out
+        assert f"wrote {out_path}" in render_out
+        svg = out_path.read_text()
+        ElementTree.fromstring(svg)  # well-formed
+        assert "script-fair" in svg
+
+        # Rendering is a pure store read: byte-stable across invocations.
+        assert main(["figures", "fig1", "--out", str(out_path)] + base) == 0
+        capsys.readouterr()
+        assert out_path.read_text() == svg
+
+        # fig2 renders from the very same records (per-client views).
+        fig2_path = tmp_path / "fig2.svg"
+        assert main(["figures", "fig2", "--out", str(fig2_path)] + base) == 0
+        capsys.readouterr()
+        ElementTree.fromstring(fig2_path.read_text())
+
+        # and the report renders the silhouette table from the store.
+        assert main(["report", "--grid", "fig1"] + base) == 0
+        report = capsys.readouterr().out
+        assert "tsne_sil" in report and "script-fair" in report
+
+    def test_figures_names_missing_cells(self, capsys, tmp_path):
+        runs_dir = str(tmp_path / "empty")
+        assert main(["sweep", "--quiet", "--grid", "fig1", "--max-cells", "0",
+                     "--runs-dir", runs_dir] + TINY_FIGURE_ARGS) == 0
+        capsys.readouterr()
+        assert main(["figures", "fig1", "--runs-dir", runs_dir]
+                    + TINY_FIGURE_ARGS) == 1
+        err = capsys.readouterr().err
+        assert "1 of 1 cells missing" in err
+        assert "script-fair" in err
+
+    def test_figures_requires_existing_store(self, capsys, tmp_path):
+        code = main(["figures", "fig1", "--store", str(tmp_path / "nope")]
+                    + TINY_FIGURE_ARGS)
+        assert code == 1
+        assert "no run store" in capsys.readouterr().err
+
+    def test_fig3_figure_renders_accuracy_fairness(self, capsys, tmp_path):
+        from xml.etree import ElementTree
+
+        runs_dir = str(tmp_path / "store")
+        out_path = tmp_path / "fig3.svg"
+        base = ["--runs-dir", runs_dir] + TINY_SWEEP_ARGS
+        assert main(["sweep", "--quiet"] + base) == 0
+        capsys.readouterr()
+        assert main(["figures", "fig3", "--panel", "0", "--out", str(out_path),
+                     "--runs-dir", runs_dir] + TINY_SWEEP_ARGS[2:]) == 0
+        capsys.readouterr()
+        svg = out_path.read_text()
+        ElementTree.fromstring(svg)
+        assert "mean accuracy" in svg
+        assert "script-fair" in svg and "fedavg" in svg
+
+    def test_figures_follows_the_sweep_hint_for_nonzero_seeds(self, capsys,
+                                                              tmp_path):
+        # The sweep hint echoes --seeds 1; the hinted figures command must
+        # find the records without an explicit --seed (regression: --seed's
+        # old default of 0 silently clobbered the grid's seed axis).
+        runs_dir = str(tmp_path / "store")
+        base = ["--runs-dir", runs_dir, "--seeds", "1"] + TINY_FIGURE_ARGS
+        assert main(["sweep", "--quiet", "--grid", "fig1"] + base) == 0
+        capsys.readouterr()
+        out_path = tmp_path / "fig1.svg"
+        assert main(["figures", "fig1", "--out", str(out_path)] + base) == 0
+        capsys.readouterr()
+        assert out_path.is_file()
+        # --seed alone (grid seeds left at default) follows the seed too
+        assert main(["figures", "fig1", "--seed", "1", "--out", str(out_path),
+                     "--runs-dir", runs_dir] + TINY_FIGURE_ARGS) == 0
+        capsys.readouterr()
+        # a contradictory --seed fails loudly instead of looking up the
+        # wrong fingerprints
+        assert main(["figures", "fig1", "--seed", "2"] + base) == 2
+        assert "not in the swept grid" in capsys.readouterr().err
+        # several seeds without a pick is ambiguous
+        assert main(["figures", "fig1", "--runs-dir", runs_dir, "--seeds",
+                     "0", "1"] + TINY_FIGURE_ARGS) == 2
+        assert "pick one" in capsys.readouterr().err

@@ -1,0 +1,180 @@
+"""Tests for the dependency-free SVG renderer (repro.viz.svg)."""
+
+from xml.etree import ElementTree
+
+import numpy as np
+import pytest
+
+from repro.viz.svg import (
+    CLASS_COLORS,
+    ScatterPanel,
+    accuracy_fairness_panel,
+    render_accuracy_fairness,
+    render_panels,
+    render_scatter,
+    svg_escape,
+)
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: str) -> ElementTree.Element:
+    """fromstring raises on malformed XML — the well-formedness assertion."""
+    return ElementTree.fromstring(svg)
+
+
+def panel_groups(root: ElementTree.Element):
+    return [el for el in root.iter(f"{SVG_NS}g")
+            if el.get("class") == "panel"]
+
+
+def all_text(root: ElementTree.Element) -> str:
+    return " ".join(el.text or "" for el in root.iter(f"{SVG_NS}text"))
+
+
+@pytest.fixture
+def points():
+    rng = np.random.default_rng(7)
+    return rng.standard_normal((40, 2))
+
+
+@pytest.fixture
+def labels():
+    rng = np.random.default_rng(8)
+    return rng.integers(0, 10, 40)
+
+
+class TestWellFormedness:
+    def test_panels_parse_as_xml(self, points, labels):
+        svg = render_panels(
+            [ScatterPanel(points=points, labels=labels, title="m1"),
+             ScatterPanel(points=points, labels=labels, title="m2")],
+            title="figure",
+        )
+        parse(svg)
+
+    def test_special_characters_escaped(self, points, labels):
+        svg = render_panels(
+            [ScatterPanel(points=points, labels=labels,
+                          title='<&"> method', subtitle="a < b & c")],
+            title='Fig. <1> — "fuzzy" & clear',
+        )
+        root = parse(svg)
+        assert '<&"> method' in all_text(root)
+
+    def test_accuracy_fairness_parses(self):
+        series = [{"method": f"m{i}", "mean": 0.1 * i, "variance": 0.01 * i}
+                  for i in range(1, 6)]
+        parse(render_accuracy_fairness(series, title="fig3"))
+
+
+class TestDeterminism:
+    def test_identical_inputs_identical_bytes(self, points, labels):
+        panels = [ScatterPanel(points=points, labels=labels, title="m")]
+        assert render_panels(panels) == render_panels(panels)
+
+    def test_series_dict_order_irrelevant(self):
+        series = [{"method": "b", "mean": 0.5, "variance": 0.02},
+                  {"method": "a", "mean": 0.7, "variance": 0.01}]
+        assert (render_accuracy_fairness(series)
+                == render_accuracy_fairness(list(reversed(series))))
+
+
+class TestPanelsAndLegend:
+    def test_panel_count_matches_input(self, points, labels):
+        panels = [ScatterPanel(points=points, labels=labels, title=f"m{i}")
+                  for i in range(5)]
+        root = parse(render_panels(panels, columns=3))
+        assert len(panel_groups(root)) == 5
+
+    def test_legend_lists_every_class(self, points):
+        labels = np.array([0, 3, 7] * 13 + [0])
+        svg = render_panels([ScatterPanel(points=points, labels=labels)])
+        text = all_text(parse(svg))
+        for class_id in (0, 3, 7):
+            assert f"class {class_id}" in text
+        assert "class 1" not in text
+
+    def test_legend_uses_class_names(self, points):
+        labels = np.zeros(40, dtype=int)
+        svg = render_panels([ScatterPanel(points=points, labels=labels)],
+                            class_names={0: "airplane"})
+        assert "airplane" in all_text(parse(svg))
+
+    def test_legend_can_be_disabled(self, points, labels):
+        svg = render_panels([ScatterPanel(points=points, labels=labels)],
+                            legend=False)
+        assert "class 0" not in all_text(parse(svg))
+
+    def test_marker_shapes_cycle_with_class(self, points):
+        # classes 0 and 4 share the circle shape but not the hue; class 1
+        # brings squares, class 2 triangles/polygons.
+        svg = render_panels([ScatterPanel(points=points,
+                                          labels=np.arange(40) % 4)])
+        root = parse(svg)
+        tags = {el.tag.replace(SVG_NS, "") for el in root.iter()}
+        assert {"circle", "rect", "polygon"} <= tags
+
+    def test_scatter_shortcut(self, points, labels):
+        root = parse(render_scatter(points, labels, title="one"))
+        assert len(panel_groups(root)) == 1
+
+
+class TestValidation:
+    def test_empty_panels_rejected(self):
+        with pytest.raises(ValueError):
+            render_panels([])
+
+    def test_bad_points_shape_rejected(self):
+        with pytest.raises(ValueError):
+            ScatterPanel(points=np.zeros((4, 3)))
+
+    def test_mismatched_labels_rejected(self, points):
+        with pytest.raises(ValueError):
+            ScatterPanel(points=points, labels=np.zeros(3, dtype=int))
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            render_accuracy_fairness([])
+
+
+class TestAccuracyFairness:
+    SERIES = [
+        {"method": "fedavg", "mean": 0.42, "variance": 0.031},
+        {"method": "calibre-simclr", "mean": 0.71, "variance": 0.012},
+        {"method": "pfl-simclr", "mean": 0.55, "variance": 0.045},
+    ]
+
+    def test_every_method_directly_labeled(self):
+        text = all_text(parse(render_accuracy_fairness(self.SERIES)))
+        for row in self.SERIES:
+            assert row["method"] in text
+
+    def test_group_legend_present(self):
+        text = all_text(parse(render_accuracy_fairness(self.SERIES)))
+        assert "baselines" in text
+        assert "Calibre" in text
+        assert "pFL-SSL" in text
+
+    def test_axes_render_ticks_and_labels(self):
+        text = all_text(parse(render_accuracy_fairness(self.SERIES)))
+        assert "mean accuracy" in text
+        assert "accuracy variance" in text
+        assert "0.5" in text  # an x tick inside [0.42, 0.71]
+
+    def test_panel_composition(self):
+        panel = accuracy_fairness_panel(self.SERIES, title="train")
+        root = parse(render_panels([panel, panel], columns=2))
+        assert len(panel_groups(root)) == 2
+
+    def test_groups_use_leading_slots(self):
+        panel = accuracy_fairness_panel(self.SERIES)
+        svg = render_panels([panel])
+        # baselines, Calibre and pFL-SSL map to the first three validated
+        # categorical slots, in that order
+        for hex_color in CLASS_COLORS[:3]:
+            assert hex_color in svg
+
+
+def test_svg_escape():
+    assert svg_escape('a<b>&"c"') == "a&lt;b&gt;&amp;&quot;c&quot;"
