@@ -26,7 +26,7 @@ from repro.eval import build_method, make_dataset, make_encoder_factory
 from repro.eval.harness import NonIIDSetting, make_partitions
 from repro.fl import (
     FederatedConfig,
-    FederatedServer,
+    TrainingSession,
     available_backends,
     build_federation,
     payload_nbytes,
@@ -98,8 +98,11 @@ def test_tsne_small(benchmark, rng):
 # Federated round loop: rounds/sec per execution backend
 # ----------------------------------------------------------------------
 def _round_loop_setup(num_clients: int, samples_per_client: int = 12):
+    # 10 classes: make sure the pool covers num_clients disjoint partitions.
+    per_class = max(samples_per_client, 8,
+                    -(-num_clients * samples_per_client // 10))
     dataset = make_dataset("cifar10", seed=0, image_size=8,
-                           train_per_class=max(samples_per_client, 8),
+                           train_per_class=per_class,
                            test_per_class=2)
     partitions = make_partitions(
         dataset.train.labels, num_clients,
@@ -110,7 +113,8 @@ def _round_loop_setup(num_clients: int, samples_per_client: int = 12):
 
 
 def run_round_loop(backend: str, workers, rounds: int = 2, num_clients: int = 4,
-                   method: str = "pfl-simclr", shared_memory=None, label=None):
+                   method: str = "pfl-simclr", shared_memory=None,
+                   client_batch=None, label=None):
     """Time the federated training stage; returns a metrics row.
 
     ``payload_inline_bytes`` is what one client costs on the wire with its
@@ -119,36 +123,86 @@ def run_round_loop(backend: str, workers, rounds: int = 2, num_clients: int = 4,
     plane is active, which replaces the arrays with handles).  Both are
     measured before training so they isolate the dataset-shipping cost the
     plane eliminates, not the algorithm state that must travel regardless.
+
+    ``client_batch`` selects the cohort-vectorized engine
+    (:mod:`repro.nn.trace`): ``1`` forces the per-client path, ``None``
+    batches each homogeneous cohort whole.  Results are required to be
+    bitwise identical either way — the smoke gate checks that.
     """
     dataset, partitions, encoder_factory = _round_loop_setup(num_clients)
     config = FederatedConfig(
         num_clients=num_clients, clients_per_round=num_clients, rounds=rounds,
         local_epochs=1, batch_size=8, personalization_epochs=2,
         personalization_batch_size=8, backend=backend, workers=workers,
-        shared_memory=shared_memory,
+        shared_memory=shared_memory, client_batch=client_batch,
     )
     clients = build_federation(dataset, partitions, seed=2)
     algorithm = build_method(method, config, dataset.num_classes, encoder_factory,
                              projection_dim=8, hidden_dim=16)
-    server = FederatedServer(algorithm, clients, config)
+    session = TrainingSession(algorithm, clients, config)
     payload_inline = payload_nbytes(clients[0], inline=True)
     payload_wire = payload_nbytes(clients[0])
     # Warm the worker pool (spawn + first pickle round-trip) so the timer
     # measures steady-state dispatch, which is what the table claims.
-    server.backend.map_clients(abs, list(range(server.backend.workers)))
+    session.backend.map_clients(abs, list(range(session.backend.workers)))
     start = time.perf_counter()
-    server.train()
+    session.run()
     elapsed = time.perf_counter() - start
-    server.close()
+    session.close()
     return {
         "backend": label or backend,
-        "workers": server.backend.workers,
-        "shared_memory": server.shared_memory_active,
+        "workers": session.backend.workers,
+        "shared_memory": session.shared_memory_active,
+        "client_batch": "auto" if client_batch is None else client_batch,
         "elapsed_s": elapsed,
         "rounds_per_sec": rounds / elapsed if elapsed > 0 else float("inf"),
         "payload_inline_bytes": payload_inline,
         "payload_wire_bytes": payload_wire,
-        "final_loss": server.round_records[-1].mean_loss,
+        "final_loss": session.round_records[-1].mean_loss,
+    }
+
+
+def run_cohort_loop(client_batch, rounds: int = 2, num_clients: int = 32):
+    """Time the homogeneous-cohort workload (serial backend, pfl-simclr).
+
+    Sized so per-step numpy dispatch dominates a single client's update —
+    the regime tiny-model federated SSL rounds on CPU live in — which is
+    exactly what the client-batched trace/replay engine
+    (:mod:`repro.nn.trace`) amortizes.  Single-class quantity partitioning
+    gives every client an identically-shaped pool, so auto batching forms
+    one ``num_clients``-wide cohort.
+    """
+    samples = 12
+    per_class = max(samples, -(-num_clients * samples // 10))
+    dataset = make_dataset("cifar10", seed=0, image_size=6,
+                           train_per_class=per_class, test_per_class=2)
+    partitions = make_partitions(
+        dataset.train.labels, num_clients,
+        NonIIDSetting("quantity", 1, samples), np.random.default_rng(1),
+    )
+    encoder_factory = make_encoder_factory("mlp", dataset, hidden_dims=(16, 8),
+                                           seed=7)
+    config = FederatedConfig(
+        num_clients=num_clients, clients_per_round=num_clients, rounds=rounds,
+        local_epochs=1, batch_size=2, personalization_epochs=2,
+        personalization_batch_size=8, client_batch=client_batch,
+    )
+    clients = build_federation(dataset, partitions, seed=2)
+    algorithm = build_method("pfl-simclr", config, dataset.num_classes,
+                             encoder_factory, projection_dim=8, hidden_dim=16)
+    session = TrainingSession(algorithm, clients, config)
+    start = time.perf_counter()
+    session.run()
+    elapsed = time.perf_counter() - start
+    session.close()
+    return {
+        "backend": "serial/per-client" if client_batch == 1 else "serial/batched",
+        "workers": 1,
+        "client_batch": "auto" if client_batch is None else client_batch,
+        "clients": num_clients,
+        "elapsed_s": elapsed,
+        "rounds_per_sec": rounds / elapsed if elapsed > 0 else float("inf"),
+        "final_loss": session.round_records[-1].mean_loss,
     }
 
 
@@ -156,7 +210,22 @@ def run_round_loop(backend: str, workers, rounds: int = 2, num_clients: int = 4,
 def test_round_loop_throughput(benchmark, backend):
     workers = None if backend == "serial" else 2
     benchmark.pedantic(
-        lambda: run_round_loop(backend, workers, rounds=2, num_clients=4),
+        lambda: run_round_loop(backend, workers, rounds=2, num_clients=4,
+                               client_batch=1),
+        rounds=1, iterations=1,
+    )
+
+
+@pytest.mark.parametrize("client_batch", [1, None],
+                         ids=["per-client", "batched"])
+def test_cohort_vectorization_throughput(benchmark, client_batch):
+    """The client-batched engine vs the per-client loop, 32-client cohort.
+
+    The regression thresholds pin the batched row well below the
+    per-client row, so losing the vectorization win fails CI.
+    """
+    benchmark.pedantic(
+        lambda: run_cohort_loop(client_batch, rounds=2),
         rounds=1, iterations=1,
     )
 
@@ -170,8 +239,10 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--smoke", action="store_true",
                         help="tiny fixed workload; exits non-zero on any failure, "
-                             "backend disagreement, or a shared-memory payload "
-                             "reduction below 10x (CI guard)")
+                             "backend disagreement, a shared-memory payload "
+                             "reduction below 10x, a cohort-vectorization "
+                             "speedup below 5x, or batched/per-client result "
+                             "divergence (CI guard)")
     parser.add_argument("--rounds", type=int, default=4)
     parser.add_argument("--clients", type=int, default=8)
     parser.add_argument("--workers", type=int, default=None,
@@ -195,17 +266,31 @@ def main(argv=None) -> int:
             variants.append((backend, workers, None, backend))
     rows = [
         run_round_loop(backend, workers, rounds=rounds, num_clients=clients,
-                       method=args.method, shared_memory=shared, label=label)
+                       method=args.method, shared_memory=shared,
+                       client_batch=1, label=label)
         for backend, workers, shared, label in variants
     ]
 
+    # Cohort vectorization: the per-client loop vs the client-batched
+    # trace/replay engine over one 32-client homogeneous cohort.  Always
+    # pfl-simclr — the point is the engine, not args.method.
+    cohort_rows = [run_cohort_loop(1, rounds=rounds),
+                   run_cohort_loop(None, rounds=rounds)]
+
     print(f"round-loop throughput ({args.method}, {clients} clients, {rounds} rounds)")
-    print(f"{'backend':<13}{'workers':>8}{'elapsed_s':>12}{'rounds/sec':>12}"
+    print(f"{'backend':<18}{'workers':>8}{'elapsed_s':>12}{'rounds/sec':>12}"
           f"{'inline_B':>10}{'wire_B':>10}{'final_loss':>12}")
     for row in rows:
-        print(f"{row['backend']:<13}{row['workers']:>8}{row['elapsed_s']:>12.3f}"
+        print(f"{row['backend']:<18}{row['workers']:>8}{row['elapsed_s']:>12.3f}"
               f"{row['rounds_per_sec']:>12.2f}{row['payload_inline_bytes']:>10}"
               f"{row['payload_wire_bytes']:>10}{row['final_loss']:>12.4f}")
+    speedup = (cohort_rows[1]["rounds_per_sec"]
+               / max(cohort_rows[0]["rounds_per_sec"], 1e-12))
+    print(f"\ncohort vectorization (pfl-simclr, {cohort_rows[0]['clients']} "
+          f"clients, {rounds} rounds): {speedup:.1f}x rounds/sec")
+    for row in cohort_rows:
+        print(f"{row['backend']:<18}{row['workers']:>8}{row['elapsed_s']:>12.3f}"
+              f"{row['rounds_per_sec']:>12.2f}{row['final_loss']:>32.4f}")
 
     if args.json:
         import json
@@ -213,6 +298,10 @@ def main(argv=None) -> int:
         payload = {
             "method": args.method, "clients": clients, "rounds": rounds,
             "rows": rows,
+            "cohort": {"method": "pfl-simclr",
+                       "clients": cohort_rows[0]["clients"],
+                       "rounds": rounds, "speedup": speedup,
+                       "rows": cohort_rows},
         }
         with open(args.json, "w") as stream:
             json.dump(payload, stream, indent=2)
@@ -238,6 +327,19 @@ def main(argv=None) -> int:
                   f"{reduction:.1f}x")
     elif args.smoke:
         print("note: shared-memory plane unavailable here; payload gate skipped")
+    if cohort_rows[0]["final_loss"] != cohort_rows[1]["final_loss"]:
+        print(f"FAIL: client-batched path diverges from per-client path: "
+              f"{cohort_rows[1]['final_loss']!r} != "
+              f"{cohort_rows[0]['final_loss']!r}", file=sys.stderr)
+        status = 1
+    else:
+        print("OK: client-batched final loss is bitwise identical to per-client")
+    if speedup < 5.0:
+        print(f"FAIL: cohort vectorization speedup only {speedup:.1f}x "
+              f"(gate: >= 5x)", file=sys.stderr)
+        status = 1
+    else:
+        print(f"OK: cohort vectorization delivers {speedup:.1f}x rounds/sec")
     return status
 
 

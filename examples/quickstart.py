@@ -17,7 +17,7 @@ import numpy as np
 from repro.core import Calibre
 from repro.data import make_cifar10_like, partition_dirichlet
 from repro.eval import fairness_report
-from repro.fl import FederatedConfig, FederatedServer, build_federation
+from repro.fl import FederatedConfig, TrainingSession, build_federation
 from repro.nn import MLPEncoder
 
 
@@ -50,8 +50,8 @@ def main():
         ssl_name="simclr", alpha=0.3, num_prototypes=5,
     )
 
-    server = FederatedServer(algorithm, clients, config, verbose=True)
-    result = server.run()
+    session = TrainingSession(algorithm, clients, config, verbose=True)
+    result = session.execute()
 
     report = fairness_report(result.accuracy_vector())
     print("\n=== Calibre (SimCLR) personalization results ===")

@@ -158,6 +158,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--workers", type=int, default=None,
                             help="worker count for parallel backends "
                                  "(default: all cores)")
+    run_parser.add_argument("--client-batch", type=int, default=None,
+                            metavar="K",
+                            help="cohort-vectorized client execution: omit "
+                                 "for auto (batch homogeneous cohorts whole), "
+                                 "1 to disable, K>=2 to cap cohort size; "
+                                 "results are bitwise identical either way")
     run_parser.add_argument("--shared-memory", default="auto",
                             choices=["auto", "on", "off"],
                             help="zero-copy shared-memory client-data plane "
@@ -215,6 +221,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--jobs", type=int, default=None,
                               help="concurrent cells for parallel schedulers "
                                    "(default: all cores)")
+    sweep_parser.add_argument("--client-batch", type=int, default=None,
+                              metavar="K",
+                              help="cohort-vectorized client execution inside "
+                                   "each cell: omit for auto, 1 to disable, "
+                                   "K>=2 to cap cohort size; store bytes are "
+                                   "identical either way")
     sweep_parser.add_argument("--max-cells", type=int, default=None,
                               help="execute at most N pending cells this pass "
                                    "(budgeted/smoke runs); the rest defer")
@@ -298,6 +310,10 @@ def _command_run(args) -> int:
     if args.workers is not None and args.workers < 1:
         print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
+    if args.client_batch is not None and args.client_batch < 1:
+        print(f"--client-batch must be >= 1, got {args.client_batch}",
+              file=sys.stderr)
+        return 2
     if args.resume and not args.checkpoints:
         print("--resume requires --checkpoints DIR", file=sys.stderr)
         return 2
@@ -310,6 +326,7 @@ def _command_run(args) -> int:
         clients_per_round=min(SCALED_CONFIG.clients_per_round, args.clients),
         seed=args.seed, backend=args.backend, workers=args.workers,
         shared_memory={"auto": None, "on": True, "off": False}[args.shared_memory],
+        client_batch=args.client_batch,
     )
     spec = scaled_spec(
         args.dataset,
@@ -416,12 +433,17 @@ def _command_sweep(args) -> int:
         print(f"--checkpoint-every must be >= 1, got {args.checkpoint_every}",
               file=sys.stderr)
         return 2
+    if args.client_batch is not None and args.client_batch < 1:
+        print(f"--client-batch must be >= 1, got {args.client_batch}",
+              file=sys.stderr)
+        return 2
     sweep = _build_sweep(args)
     store = RunStore(args.runs_dir)
     executor = (execute_embedding_cell if args.exp in EMBEDDING_FIGURES
                 else None)
     summary = run_sweep(sweep, store=store, backend=args.scheduler,
                         workers=args.jobs, max_cells=args.max_cells,
+                        client_batch=args.client_batch,
                         round_checkpoints=args.round_checkpoints,
                         checkpoint_every=args.checkpoint_every,
                         executor=executor,

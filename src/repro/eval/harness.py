@@ -198,7 +198,8 @@ def spec_context(spec: ExperimentSpec, method_name: str) -> str:
     import json
 
     config = {name: value for name, value in asdict(spec.config).items()
-              if name not in ("backend", "workers", "shared_memory")}
+              if name not in ("backend", "workers", "shared_memory",
+                              "client_batch")}
     payload = {
         "dataset": spec.dataset,
         "setting": [spec.setting.kind, float(spec.setting.parameter),
@@ -219,6 +220,7 @@ def spec_context(spec: ExperimentSpec, method_name: str) -> str:
 def run_experiment(spec: ExperimentSpec, verbose: bool = False,
                    backend: Optional[str] = None,
                    workers: Optional[int] = None,
+                   client_batch: Optional[int] = None,
                    checkpoint_dir: Union[str, Path, None] = None,
                    resume: bool = False,
                    checkpoint_every: int = 1,
@@ -242,10 +244,12 @@ def run_experiment(spec: ExperimentSpec, verbose: bool = False,
     the seam for attaching custom callbacks (eval cadence, early
     stopping, history streaming).
     """
-    if backend is not None or workers is not None:
+    if backend is not None or workers is not None or client_batch is not None:
         spec = replace(spec, config=spec.config.with_overrides(
             **({"backend": backend} if backend is not None else {}),
             **({"workers": workers} if workers is not None else {}),
+            **({"client_batch": client_batch} if client_batch is not None
+               else {}),
         ))
     dataset = make_dataset(spec.dataset, seed=spec.seed, **spec.dataset_kwargs)
     partition_rng = np.random.default_rng(spec.seed + 1)

@@ -369,6 +369,7 @@ class _EmbedOnFinalRound(SessionCallback):
 
 
 def execute_embedding_cell(key: RunKey, client_backend: Optional[str] = None,
+                           client_batch: Optional[int] = None,
                            verbose: bool = False,
                            checkpoint_dir=None,
                            checkpoint_every: int = 1) -> Dict:
@@ -397,7 +398,8 @@ def execute_embedding_cell(key: RunKey, client_backend: Optional[str] = None,
         else:
             session.add_callback(_EmbedOnFinalRound(extract))
 
-    record = execute_cell(key, client_backend=client_backend, verbose=verbose,
+    record = execute_cell(key, client_backend=client_backend,
+                          client_batch=client_batch, verbose=verbose,
                           checkpoint_dir=checkpoint_dir,
                           checkpoint_every=checkpoint_every,
                           session_hook=session_hook)

@@ -17,7 +17,7 @@ weighting).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Sequence
+from typing import Dict, Hashable, List, Optional, Sequence
 
 import numpy as np
 
@@ -118,6 +118,36 @@ class FederatedAlgorithm:
                          images: np.ndarray) -> np.ndarray:
         """Frozen-feature extraction used by the default personalization."""
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Cohort-level execution (client-batched vectorization seam)
+    # ------------------------------------------------------------------
+    def cohort_key(self, client: ClientData) -> Optional[Hashable]:
+        """Grouping key for client-batched execution, or ``None``.
+
+        Clients returning the same non-``None`` key may be dispatched
+        together through :meth:`cohort_update`; ``None`` (the default)
+        opts the client out of batching entirely.  A key must only group
+        clients whose local updates are *homogeneous* — identical data
+        shapes and identical per-step computation — because batched
+        execution is required to be bitwise identical to the per-client
+        path.
+        """
+        return None
+
+    def cohort_update(self, clients: Sequence[ClientData],
+                      global_state: StateDict,
+                      round_index: int) -> List[ClientUpdate]:
+        """Run local updates for a cohort, in client order.
+
+        The default simply loops :meth:`local_update`; algorithms with a
+        vectorized engine (see :class:`~repro.baselines.pfl_ssl.PFLSSL`)
+        override this to batch homogeneous clients and must return results
+        bitwise identical to the loop — falling back to it whenever the
+        batched path cannot guarantee that.
+        """
+        return [self.local_update(client, global_state, round_index)
+                for client in clients]
 
     # ------------------------------------------------------------------
     # Default behaviours

@@ -50,6 +50,15 @@ class FederatedConfig:
     unavailable; ``True`` requests it and warns when it cannot activate;
     ``False`` disables it.  Like the backend knobs it never changes
     results — workers read the same bytes either way.
+
+    ``client_batch`` controls cohort-level vectorized execution (see
+    :mod:`repro.nn.trace`): ``None`` (default) automatically batches each
+    homogeneous cohort of sampled clients whole; ``1`` disables batching
+    (the classic per-client path); ``k >= 2`` caps cohort size at ``k``.
+    Batched execution is required to be bitwise identical to the
+    per-client path, so — like backend/workers/shared_memory — this knob
+    changes wall-clock time, never results, and is excluded from run
+    fingerprints.
     """
 
     num_clients: int = 20
@@ -69,6 +78,7 @@ class FederatedConfig:
     backend: str = "serial"
     workers: Optional[int] = None
     shared_memory: Optional[bool] = None
+    client_batch: Optional[int] = None
 
     def __post_init__(self):
         if self.num_clients < 1:
@@ -102,6 +112,16 @@ class FederatedConfig:
             raise ValueError(
                 f"shared_memory must be None (auto), True, or False, "
                 f"got {self.shared_memory!r}"
+            )
+        # bool is an int subclass; reject it explicitly so client_batch=True
+        # does not silently mean "disable batching".
+        if self.client_batch is not None and (
+                isinstance(self.client_batch, bool)
+                or not isinstance(self.client_batch, int)
+                or self.client_batch < 1):
+            raise ValueError(
+                f"client_batch must be None (auto) or an integer >= 1, "
+                f"got {self.client_batch!r}"
             )
 
     def with_overrides(self, **kwargs) -> "FederatedConfig":

@@ -172,6 +172,26 @@ class ExecutionBackend:
         for index, item in enumerate(items):
             yield index, task(item)
 
+    def map_cohorts(self, task: Callable, cohorts: Sequence[Sequence]) -> List:
+        """Apply a cohort-level task to each group of clients, in order.
+
+        The batched dispatch path of the cohort execution API: each item is
+        a *list* of clients handled by one task invocation (one vectorized
+        local update).  Backends are item-agnostic, so dispatch, chunking,
+        shared-memory registration, and fallback behaviour are exactly
+        those of :meth:`map_clients` — a cohort is just a bigger item.
+        """
+        return self.map_clients(task, cohorts)
+
+    def imap_cohorts(self, task: Callable, cohorts: Sequence[Sequence]
+                     ) -> Iterator[Tuple[int, object]]:
+        """Streaming counterpart of :meth:`map_cohorts`.
+
+        Yields ``(cohort_index, results)`` pairs as cohorts complete, with
+        the same completion-order caveats as :meth:`imap_clients`.
+        """
+        return self.imap_clients(task, cohorts)
+
     def register_clients(self, clients: Sequence) -> bool:
         """Opt the clients into this backend's data plane; True when active.
 

@@ -13,6 +13,7 @@ directly; see the migration note in the README.
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Optional, Sequence, Union
 
 from ..nn.serialize import StateDict
@@ -94,15 +95,45 @@ class FederatedServer:
 
     # ------------------------------------------------------------------
     def train(self) -> StateDict:
-        """Run the federated training stage and return the final global state."""
+        """Run the federated training stage and return the final global state.
+
+        .. deprecated:: use ``TrainingSession.run()`` instead.
+        """
+        warnings.warn(
+            "FederatedServer.train() is deprecated; construct a "
+            "repro.fl.session.TrainingSession and call run() instead "
+            "(see docs/architecture.md, 'Training sessions')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.session.run()
 
     def personalize_all(self) -> RunResult:
-        """Run the personalization stage on every client (train + novel)."""
+        """Run the personalization stage on every client (train + novel).
+
+        .. deprecated:: use ``TrainingSession.personalize()`` instead.
+        """
+        warnings.warn(
+            "FederatedServer.personalize_all() is deprecated; construct a "
+            "repro.fl.session.TrainingSession and call personalize() instead "
+            "(see docs/architecture.md, 'Training sessions')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.session.personalize()
 
     def run(self) -> RunResult:
-        """Full experiment: training stage then personalization stage."""
+        """Full experiment: training stage then personalization stage.
+
+        .. deprecated:: use ``TrainingSession.execute()`` instead.
+        """
+        warnings.warn(
+            "FederatedServer.run() is deprecated; construct a "
+            "repro.fl.session.TrainingSession and call execute() instead "
+            "(see docs/architecture.md, 'Training sessions')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.session.execute()
 
     def close(self) -> None:

@@ -143,16 +143,47 @@ class RoundCheckpointer(SessionCallback):
     of round 0.  The checkpoint fires on ``round_end``, i.e. *after* the
     session committed the round, so the stored ``round_index`` is the
     next round to execute.
+
+    ``keep_last=None`` (default) keeps that single-file behaviour.
+    ``keep_last=N`` switches to *retained history*: each write lands in a
+    numbered sibling (``<stem>-r000007<suffix>`` after round 6 commits)
+    and only the newest ``N`` numbered files survive — older ones are
+    pruned after each write, never before, so a crash mid-write still
+    leaves the previous ``N`` intact.  :attr:`path` always points at the
+    most recent checkpoint: in retention mode it is atomically replaced
+    alongside the numbered copy, so resume code that only knows the base
+    path keeps working.
     """
 
-    def __init__(self, path: Union[str, Path], every: int = 1):
+    def __init__(self, path: Union[str, Path], every: int = 1,
+                 keep_last: Optional[int] = None):
         if every < 1:
             raise ValueError(f"every must be >= 1, got {every}")
+        if keep_last is not None and keep_last < 1:
+            raise ValueError(f"keep_last must be None or >= 1, got {keep_last}")
         self.path = Path(path)
         self.every = every
+        self.keep_last = keep_last
         self.writes = 0
 
+    def _numbered_path(self, round_index: int) -> Path:
+        suffix = self.path.suffix or ".json"
+        return self.path.with_name(
+            f"{self.path.stem}-r{round_index + 1:06d}{suffix}")
+
+    def retained(self) -> List[Path]:
+        """Numbered checkpoints currently on disk, oldest first."""
+        suffix = self.path.suffix or ".json"
+        pattern = f"{self.path.stem}-r[0-9][0-9][0-9][0-9][0-9][0-9]{suffix}"
+        return sorted(self.path.parent.glob(pattern))
+
     def on_round_end(self, session, event: RoundEnd) -> None:
-        if (event.round_index + 1) % self.every == 0:
-            write_checkpoint(session.capture_state(), self.path)
-            self.writes += 1
+        if (event.round_index + 1) % self.every != 0:
+            return
+        state = session.capture_state()
+        if self.keep_last is not None:
+            write_checkpoint(state, self._numbered_path(event.round_index))
+            for stale in self.retained()[:-self.keep_last]:
+                stale.unlink()
+        write_checkpoint(state, self.path)
+        self.writes += 1

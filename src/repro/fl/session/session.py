@@ -77,6 +77,19 @@ def _local_update_task(algorithm: FederatedAlgorithm, global_state: StateDict,
     return _ClientOutcome(client.client_id, update, client.store)
 
 
+def _cohort_update_task(algorithm: FederatedAlgorithm, global_state: StateDict,
+                        round_index: int, clients: Sequence[ClientData]
+                        ) -> List[_ClientOutcome]:
+    """One cohort's round contribution (module-level: picklable).
+
+    Returns one outcome per client, in cohort order, so the coordinator can
+    reattach stores and feed the aggregator at original input positions.
+    """
+    updates = algorithm.cohort_update(clients, global_state, round_index)
+    return [_ClientOutcome(client.client_id, update, client.store)
+            for client, update in zip(clients, updates)]
+
+
 def _personalize_task(algorithm: FederatedAlgorithm, global_state: StateDict,
                       client: ClientData) -> _ClientOutcome:
     """One client's personalization stage (module-level: picklable)."""
@@ -87,7 +100,7 @@ def _personalize_task(algorithm: FederatedAlgorithm, global_state: StateDict,
 # FederatedConfig knobs that change wall-clock, never results (see
 # :mod:`repro.fl.execution`) — excluded from the context fingerprint so a
 # checkpoint taken under one backend restores under any other.
-_EXECUTION_KNOBS = ("backend", "workers", "shared_memory")
+_EXECUTION_KNOBS = ("backend", "workers", "shared_memory", "client_batch")
 
 
 def default_session_context(algorithm: FederatedAlgorithm,
@@ -231,24 +244,48 @@ class TrainingSession:
             round_index=round_index,
             participant_ids=tuple(client.client_id for client in participants),
         ))
-        task = functools.partial(
-            _local_update_task, self.algorithm, self._state.global_state,
-            round_index,
-        )
         aggregator = self.algorithm.make_aggregator(
             self._state.global_state, round_index
         )
-        # Stream completed updates: stores reattach and the aggregator
-        # ingests each update the moment its client finishes, while other
-        # clients are still running.
-        for index, outcome in self.backend.imap_clients(task, participants):
-            participants[index].store = outcome.store
-            aggregator.add(index, outcome.result)
-            self._emit(ClientUpdateDone(
-                round_index=round_index,
-                client_id=outcome.client_id,
-                update=outcome.result,
-            ))
+        cohorts = self._plan_cohorts(participants)
+        if cohorts is None:
+            task = functools.partial(
+                _local_update_task, self.algorithm, self._state.global_state,
+                round_index,
+            )
+            # Stream completed updates: stores reattach and the aggregator
+            # ingests each update the moment its client finishes, while other
+            # clients are still running.
+            for index, outcome in self.backend.imap_clients(task, participants):
+                participants[index].store = outcome.store
+                aggregator.add(index, outcome.result)
+                self._emit(ClientUpdateDone(
+                    round_index=round_index,
+                    client_id=outcome.client_id,
+                    update=outcome.result,
+                ))
+        else:
+            # Cohort dispatch: homogeneous clients travel together so the
+            # algorithm's vectorized engine (if any) can batch them.  The
+            # aggregator is still fed at *original* sample positions, so
+            # aggregation order — and therefore results — match the
+            # per-client path bitwise.
+            cohort_task = functools.partial(
+                _cohort_update_task, self.algorithm, self._state.global_state,
+                round_index,
+            )
+            groups = [[participants[position] for position in positions]
+                      for positions in cohorts]
+            for group_index, outcomes in self.backend.imap_cohorts(
+                    cohort_task, groups):
+                for position, outcome in zip(cohorts[group_index], outcomes):
+                    participants[position].store = outcome.store
+                    aggregator.add(position, outcome.result)
+                    self._emit(ClientUpdateDone(
+                        round_index=round_index,
+                        client_id=outcome.client_id,
+                        update=outcome.result,
+                    ))
         new_global = aggregator.finalize()
         updates: List[ClientUpdate] = list(aggregator.updates_in_order())
         self._emit(AggregateDone(round_index=round_index,
@@ -292,6 +329,40 @@ class TrainingSession:
             )
         self._emit(RoundEnd(round_index=round_index, record=record))
         return record
+
+    def _plan_cohorts(self, participants: Sequence[ClientData]
+                      ) -> Optional[List[List[int]]]:
+        """Group this round's participants for cohort dispatch.
+
+        Returns a list of position groups (indices into ``participants``),
+        or ``None`` when cohort dispatch would be pointless — batching is
+        disabled (``client_batch=1``), fewer than two participants, or no
+        two clients share a cohort key — in which case :meth:`step` runs
+        the classic per-client path verbatim.
+
+        Grouping is by :meth:`FederatedAlgorithm.cohort_key`; clients with
+        a ``None`` key stay solo.  ``client_batch=None`` (auto) batches
+        each homogeneous group whole; ``client_batch=k`` caps group size
+        at ``k``.  Group order follows each group's first member, and
+        positions within a group stay sorted, so dispatch order is
+        deterministic.
+        """
+        client_batch = getattr(self.config, "client_batch", None)
+        if client_batch == 1 or len(participants) < 2:
+            return None
+        groups: Dict[object, List[int]] = {}
+        for position, client in enumerate(participants):
+            key = self.algorithm.cohort_key(client)
+            group_key = ("solo", position) if key is None else ("cohort", key)
+            groups.setdefault(group_key, []).append(position)
+        plan: List[List[int]] = []
+        for positions in groups.values():
+            cap = len(positions) if client_batch is None else int(client_batch)
+            for start in range(0, len(positions), cap):
+                plan.append(positions[start:start + cap])
+        if all(len(group) == 1 for group in plan):
+            return None
+        return plan
 
     def run_until(self, target_round: int) -> Optional[StateDict]:
         """Advance rounds until ``round_index`` reaches ``target_round`` (or

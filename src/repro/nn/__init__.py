@@ -28,6 +28,7 @@ from .mlp import MLPClassifier, MLPEncoder
 from .module import Module, ModuleList, Parameter, Sequential
 from .optim import (
     Adam,
+    BatchedSGD,
     ConstantLR,
     CosineAnnealingLR,
     LRScheduler,
@@ -36,6 +37,7 @@ from .optim import (
     StepLR,
     WarmupCosineLR,
 )
+from .trace import BatchedReplay, Trace, TraceTensor, UntraceableError
 from .resnet import BasicBlock, ResNetEncoder, SmallConvEncoder, resnet9, resnet18
 from .tensor import (
     Tensor,
@@ -81,7 +83,12 @@ __all__ = [
     "accuracy",
     "Optimizer",
     "SGD",
+    "BatchedSGD",
     "Adam",
+    "Trace",
+    "TraceTensor",
+    "BatchedReplay",
+    "UntraceableError",
     "LRScheduler",
     "ConstantLR",
     "StepLR",

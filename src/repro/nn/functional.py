@@ -99,6 +99,12 @@ def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generat
         return x
     if p >= 1.0:
         raise ValueError("dropout probability must be < 1")
+    if getattr(x, "_trace", None) is not None:
+        from .trace import UntraceableError
+
+        raise UntraceableError(
+            "dropout with p > 0 draws a fresh mask per client and cannot be "
+            "recorded for batched replay")
     rng = rng if rng is not None else np.random.default_rng()
     mask = (rng.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
     return x * Tensor(mask)
@@ -308,6 +314,7 @@ def batch_norm(
     else:
         raise ValueError(f"batch_norm expects 2-D or 4-D input, got shape {x.shape}")
 
+    trace = getattr(x, "_trace", None)
     if training:
         batch_mean = x.data.mean(axis=axes)
         batch_var = x.data.var(axis=axes)
@@ -317,10 +324,22 @@ def batch_norm(
         running_mean += momentum * batch_mean
         running_var *= 1.0 - momentum
         running_var += momentum * unbiased
+        if trace is not None:
+            # The buffer update is a per-client side effect; record it so
+            # batched replay applies it to K stacked buffer rows (the eager
+            # update above only touched the throwaway template buffers).
+            trace.record_bn_update(x, running_mean, running_var, axes,
+                                   momentum, count / max(count - 1, 1))
         mean_t = x.mean(axis=axes, keepdims=True)
         var_t = x.var(axis=axes, keepdims=True)
         x_hat = (x - mean_t) / (var_t + eps).sqrt()
     else:
+        if trace is not None:
+            from .trace import UntraceableError
+
+            raise UntraceableError(
+                "eval-mode batch_norm reads per-client running statistics "
+                "and cannot be recorded for batched replay")
         mean = running_mean.reshape(view)
         var = running_var.reshape(view)
         x_hat = (x - Tensor(mean, dtype=x.data.dtype)) / Tensor(

@@ -18,6 +18,7 @@ from .module import Parameter
 __all__ = [
     "Optimizer",
     "SGD",
+    "BatchedSGD",
     "Adam",
     "LRScheduler",
     "ConstantLR",
@@ -104,6 +105,31 @@ class SGD(Optimizer):
         self.weight_decay = state["weight_decay"]
         self.nesterov = state["nesterov"]
         self._velocity = [None if v is None else v.copy() for v in state["velocity"]]
+
+
+class BatchedSGD(SGD):
+    """SGD over client-batched parameter tensors (leading client axis).
+
+    Every update rule in :class:`SGD` is elementwise over the parameter
+    array, so running it on ``(K, *shape)`` tensors updates K independent
+    per-client parameter copies — and the lazily allocated velocity buffers
+    become ``(K, *shape)`` vectorized per-client momentum state — with
+    slice ``k`` bitwise identical to a per-client :class:`SGD` step.  This
+    subclass only adds the client-axis contract check.
+    """
+
+    def __init__(self, parameters, lr: float, momentum: float = 0.0,
+                 weight_decay: float = 0.0, nesterov: bool = False,
+                 num_clients: Optional[int] = None):
+        super().__init__(parameters, lr, momentum=momentum,
+                         weight_decay=weight_decay, nesterov=nesterov)
+        if num_clients is not None:
+            for param in self.parameters:
+                if param.data.ndim < 1 or param.data.shape[0] != num_clients:
+                    raise ValueError(
+                        f"batched parameter has shape {param.data.shape}; "
+                        f"expected a leading client axis of {num_clients}")
+        self.num_clients = num_clients
 
 
 class Adam(Optimizer):

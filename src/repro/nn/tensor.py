@@ -595,6 +595,12 @@ class Tensor:
     # ------------------------------------------------------------------
     @staticmethod
     def concat(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        if any(getattr(t, "_trace", None) is not None for t in tensors):
+            # Static dispatch cannot route through a subclass: hand traced
+            # inputs to the recording implementation explicitly.
+            from .trace import traced_concat
+
+            return traced_concat(tensors, axis=axis)
         tensors = [as_tensor(t) for t in tensors]
         data = np.concatenate([t.data for t in tensors], axis=axis)
         requires = is_grad_enabled() and any(t.requires_grad for t in tensors)

@@ -62,6 +62,7 @@ def cell_checkpoint_dir(store_root: Union[str, Path], key: RunKey) -> Path:
 
 
 def execute_cell(key: RunKey, client_backend: Optional[str] = None,
+                 client_batch: Optional[int] = None,
                  verbose: bool = False,
                  checkpoint_dir: Union[str, Path, None] = None,
                  checkpoint_every: int = 1,
@@ -78,6 +79,7 @@ def execute_cell(key: RunKey, client_backend: Optional[str] = None,
     """
     outcome = run_experiment(key.to_spec(), verbose=verbose,
                              backend=client_backend,
+                             client_batch=client_batch,
                              checkpoint_dir=checkpoint_dir,
                              resume=checkpoint_dir is not None,
                              checkpoint_every=checkpoint_every,
@@ -107,6 +109,7 @@ class _CellTask:
 
     store_root: Optional[str]
     client_backend: Optional[str] = None
+    client_batch: Optional[int] = None
     verbose: bool = False
     round_checkpoints: bool = False
     checkpoint_every: int = 1
@@ -120,6 +123,7 @@ class _CellTask:
             resumed_mid_cell = any(checkpoint_dir.glob("*.json"))
         started = time.perf_counter()
         record = self.executor(key, client_backend=self.client_backend,
+                               client_batch=self.client_batch,
                                verbose=self.verbose,
                                checkpoint_dir=checkpoint_dir,
                                checkpoint_every=self.checkpoint_every)
@@ -175,6 +179,7 @@ def run_sweep(sweep: SweepSpec,
               workers: Optional[int] = None,
               max_cells: Optional[int] = None,
               client_backend: Optional[str] = None,
+              client_batch: Optional[int] = None,
               round_checkpoints: bool = False,
               checkpoint_every: int = 1,
               executor: Optional[Callable[..., Dict]] = None,
@@ -186,7 +191,10 @@ def run_sweep(sweep: SweepSpec,
     pick the *experiment-level* scheduler (any :mod:`repro.fl.execution`
     backend, with its usual graceful serial fallback); ``client_backend``
     overrides each cell's inner client-execution engine and defaults to
-    serial whenever the outer scheduler is parallel.  ``max_cells`` bounds
+    serial whenever the outer scheduler is parallel;  ``client_batch``
+    overrides each cell's cohort batching knob
+    (:attr:`~repro.fl.config.FederatedConfig.client_batch`) — like the
+    inner backend it changes wall-clock only, never the store's bytes.  ``max_cells`` bounds
     how many pending cells this pass may execute (budgeted/smoke runs);
     the rest are reported as deferred.
 
@@ -203,7 +211,8 @@ def run_sweep(sweep: SweepSpec,
     ``executor`` swaps the per-cell execution function (default:
     :func:`execute_cell`, a plain training run).  It must be a
     module-level callable (picklable) accepting ``(key, client_backend=,
-    verbose=, checkpoint_dir=, checkpoint_every=)`` and returning a cell
+    client_batch=, verbose=, checkpoint_dir=, checkpoint_every=)`` and
+    returning a cell
     record with at least ``fingerprint``/``result``/``report`` — the
     embedding figures use this seam to persist t-SNE payloads alongside
     the training result.
@@ -242,7 +251,8 @@ def run_sweep(sweep: SweepSpec,
     if store is not None:
         store.write_sweep(sweep)
     task = _CellTask(store_root=str(store.root) if store is not None else None,
-                     client_backend=inner, verbose=verbose,
+                     client_backend=inner, client_batch=client_batch,
+                     verbose=verbose,
                      round_checkpoints=round_checkpoints,
                      checkpoint_every=checkpoint_every,
                      executor=executor if executor is not None else execute_cell)

@@ -54,7 +54,7 @@ __all__ = [
 RECORD_SCHEMA = 1
 """Version stamp written into every cell record and outcome file."""
 
-EXECUTION_FIELDS = ("backend", "workers", "shared_memory")
+EXECUTION_FIELDS = ("backend", "workers", "shared_memory", "client_batch")
 """``FederatedConfig`` knobs that change wall-clock time but never results
 (see :mod:`repro.fl.execution`).  They are excluded from content hashes so
 a sweep resumed under a different scheduler still recognizes its cells."""

@@ -23,7 +23,7 @@ import numpy as np
 
 from ..nn.module import Module
 from ..nn.serialize import StateDict, merge_states, split_state
-from ..nn.tensor import Tensor, no_grad
+from ..nn.tensor import Tensor, as_tensor, no_grad
 from .heads import ProjectionMLP
 
 __all__ = ["SSLOutputs", "SSLMethod", "EncoderFactory"]
@@ -51,6 +51,13 @@ class SSLMethod(Module):
     """Base class for the six SSL methods."""
 
     name = "ssl-base"
+
+    #: Whether one local-update step of this method is a pure function of
+    #: (parameters, batch) expressible in the traceable primitive set of
+    #: :mod:`repro.nn.trace` — no EMA targets, queues, prototype
+    #: renormalization, or other ``post_step``/extra-state machinery.  Only
+    #: methods that set this True participate in client-batched cohorts.
+    supports_client_batching = False
 
     def __init__(
         self,
@@ -134,8 +141,11 @@ class SSLMethod(Module):
     # Helpers shared by subclasses
     # ------------------------------------------------------------------
     def _forward_views(self, view_e: np.ndarray, view_o: np.ndarray):
-        z_e = self.encoder(Tensor(view_e))
-        z_o = self.encoder(Tensor(view_o))
+        # as_tensor (not Tensor) so trace-recording tensors pass through
+        # intact when the cohort engine replays this method over a client
+        # batch; plain arrays still get wrapped exactly as before.
+        z_e = self.encoder(as_tensor(view_e))
+        z_o = self.encoder(as_tensor(view_o))
         h_e = self.projector(z_e)
         h_o = self.projector(z_o)
         return z_e, z_o, h_e, h_o

@@ -20,6 +20,9 @@ __all__ = ["SimCLR"]
 
 class SimCLR(SSLMethod):
     name = "simclr"
+    # Pure encoder/projector forward + NT-Xent: fully traceable, no
+    # post_step or extra state, so homogeneous cohorts can vectorize it.
+    supports_client_batching = True
 
     def __init__(
         self,

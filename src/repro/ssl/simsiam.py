@@ -16,6 +16,9 @@ __all__ = ["SimSiam"]
 
 class SimSiam(SSLMethod):
     name = "simsiam"
+    # Encoder/projector/predictor MLPs + stop-gradient cosine loss are all
+    # traceable primitives; no post_step or extra state.
+    supports_client_batching = True
 
     def __init__(
         self,

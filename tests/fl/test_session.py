@@ -251,6 +251,41 @@ class TestBuiltinCallbacks:
         # Atomic discipline: no temp files left behind.
         assert [p.name for p in tmp_path.iterdir()] == ["ckpt.json"]
 
+    def test_round_checkpointer_retains_last_n(self, tmp_path):
+        config = tiny_config(rounds=5)
+        path = tmp_path / "ckpt.json"
+        checkpointer = RoundCheckpointer(path, keep_last=2)
+        session = TrainingSession(TraceAlgorithm(config), make_clients(4), config,
+                                  callbacks=[checkpointer])
+        session.run()
+        assert checkpointer.writes == 5
+        # Only the newest two numbered checkpoints survive pruning.
+        assert [p.name for p in checkpointer.retained()] == \
+            ["ckpt-r000004.json", "ckpt-r000005.json"]
+        # The base path always tracks the newest checkpoint, so resume code
+        # that only knows the base path keeps working.
+        assert read_checkpoint(path).round_index == 5
+        assert read_checkpoint(tmp_path / "ckpt-r000004.json").round_index == 4
+        assert sorted(p.name for p in tmp_path.iterdir()) == \
+            ["ckpt-r000004.json", "ckpt-r000005.json", "ckpt.json"]
+
+    def test_round_checkpointer_retention_respects_cadence(self, tmp_path):
+        config = tiny_config(rounds=6)
+        path = tmp_path / "ckpt.json"
+        checkpointer = RoundCheckpointer(path, every=2, keep_last=2)
+        session = TrainingSession(TraceAlgorithm(config), make_clients(4), config,
+                                  callbacks=[checkpointer])
+        session.run()
+        assert checkpointer.writes == 3
+        assert [p.name for p in checkpointer.retained()] == \
+            ["ckpt-r000004.json", "ckpt-r000006.json"]
+
+    def test_round_checkpointer_rejects_bad_knobs(self, tmp_path):
+        with pytest.raises(ValueError):
+            RoundCheckpointer(tmp_path / "c.json", every=0)
+        with pytest.raises(ValueError):
+            RoundCheckpointer(tmp_path / "c.json", keep_last=0)
+
     def test_add_and_remove_callback(self):
         config = tiny_config(rounds=1)
         session = TrainingSession(TraceAlgorithm(config), make_clients(4), config)
@@ -286,6 +321,19 @@ class TestServerShim:
         result = server.personalize_all()
         assert len(result.accuracies) == 4
         server.close()
+
+
+class TestServerShimDeprecation:
+    def test_legacy_entry_points_warn(self):
+        config = tiny_config(rounds=1)
+        server = FederatedServer(TraceAlgorithm(config), make_clients(4), config)
+        with pytest.warns(DeprecationWarning, match="TrainingSession"):
+            server.train()
+        with pytest.warns(DeprecationWarning, match="personalize"):
+            server.personalize_all()
+        server = FederatedServer(TraceAlgorithm(config), make_clients(4), config)
+        with pytest.warns(DeprecationWarning, match="execute"):
+            server.run()
 
 
 class TestRestoreValidation:

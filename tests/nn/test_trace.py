@@ -1,0 +1,284 @@
+"""Unit tests for the trace/replay vectorization layer (repro.nn.trace).
+
+The contract under test is bitwise equivalence: slice k of every replayed
+op equals what the per-client path computes for client k.  Helpers build a
+trace from a single-client function, replay it over K stacked clients, and
+compare against K independent eager runs.
+"""
+
+import copy
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchedSGD, Tensor
+from repro.nn import functional as F
+from repro.nn.trace import BatchedReplay, Trace, UntraceableError
+
+K = 5
+
+
+def record_and_replay(fn, *input_arrays, params=None, k=K, seed=0):
+    """Record ``fn`` on client 0's leaves, replay over ``k`` stacked clients.
+
+    ``fn(*inputs, **params)`` must return a scalar TraceTensor.  Returns the
+    replayed per-client outputs (k,) plus the stacked leaves used, so callers
+    can compare against per-client eager recomputation.
+    """
+    rng = np.random.default_rng(seed)
+    stacked_inputs = [np.stack([a + rng.standard_normal(a.shape) for _ in range(k)])
+                      for a in input_arrays]
+    params = params or {}
+    stacked_params = {name: np.stack([v + rng.standard_normal(v.shape)
+                                      for _ in range(k)])
+                      for name, v in params.items()}
+
+    trace = Trace()
+    leaves = [trace.add_input(f"in{i}", stacked_inputs[i][0])
+              for i in range(len(input_arrays))]
+    param_leaves = {name: trace.add_param(name, stacked_params[name][0])
+                    for name in params}
+    out = fn(*leaves, **param_leaves)
+    trace.set_output(out)
+    trace.seal()
+
+    replay = BatchedReplay(trace, k)
+    leaf_tensors = {name: Tensor(stacked_params[name], requires_grad=True)
+                    for name in params}
+    loss, staged = replay.run(
+        {f"in{i}": stacked_inputs[i] for i in range(len(input_arrays))},
+        leaf_tensors, {})
+    assert staged == {} or staged  # staged is an OrderedDict
+    return loss, stacked_inputs, stacked_params, leaf_tensors
+
+
+def assert_matches_per_client(fn, *input_arrays, params=None, k=K, seed=0):
+    loss, stacked_inputs, stacked_params, leaf_tensors = record_and_replay(
+        fn, *input_arrays, params=params, k=k, seed=seed)
+    assert loss.data.shape == (k,) or loss.data.shape == ()
+    loss.backward()
+    for client in range(k):
+        eager_inputs = [Tensor(s[client]) for s in stacked_inputs]
+        eager_params = {name: Tensor(s[client], requires_grad=True)
+                        for name, s in stacked_params.items()}
+        eager = fn(*eager_inputs, **eager_params)
+        np.testing.assert_array_equal(np.asarray(loss.data)[client], eager.data)
+        eager.backward()
+        for name, leaf in leaf_tensors.items():
+            np.testing.assert_array_equal(leaf.grad[client],
+                                          eager_params[name].grad)
+
+
+class TestPrimitiveEquivalence:
+    def test_arithmetic_chain(self):
+        x = np.linspace(-1, 1, 12).reshape(3, 4)
+
+        def fn(a, w):
+            return ((a * w + 2.0) / 3.0 - 0.5).sum()
+
+        assert_matches_per_client(fn, x, params={"w": np.ones((3, 4))})
+
+    def test_reflected_ops(self):
+        x = np.linspace(0.5, 2.0, 8).reshape(2, 4)
+
+        def fn(a, w):
+            return (1.0 - (2.0 / (a * w)) + (-a)).sum()
+
+        assert_matches_per_client(fn, x, params={"w": np.full((2, 4), 1.5)})
+
+    def test_matmul_and_rmatmul(self):
+        x = np.linspace(-1, 1, 12).reshape(3, 4)
+        const = np.linspace(0, 1, 12).reshape(4, 3)
+
+        def fn(a, w):
+            return ((a @ w) + (const @ a)[:4:2, :].sum()).sum()
+
+        assert_matches_per_client(fn, x, params={"w": np.ones((4, 3))})
+
+    def test_unary_transcendentals(self):
+        x = np.linspace(0.1, 2.0, 8).reshape(2, 4)
+
+        def fn(a, w):
+            b = (a * w).exp()          # strictly positive for log/sqrt
+            return (b.log() + b.sqrt() + b.tanh() + b.sigmoid()
+                    + b.relu()).sum()
+
+        assert_matches_per_client(fn, x, params={"w": np.full((2, 4), 0.7)})
+
+    def test_reductions_and_reshapes(self):
+        x = np.linspace(-2, 2, 24).reshape(2, 3, 4)
+
+        def fn(a, w):
+            b = (a * w).reshape((6, 4)).transpose()
+            return b.max(axis=0).sum() + b.mean() + b.sum(axis=(0, 1)) + b.var()
+
+        assert_matches_per_client(fn, x, params={"w": np.ones((2, 3, 4))})
+
+    def test_broadcast_alignment_lower_rank_operand(self):
+        # A rank-1 traced operand must align on trailing axes after the
+        # client axis is added, exactly as numpy aligned it unbatched.
+        x = np.linspace(-1, 1, 12).reshape(3, 4)
+
+        def fn(a, w):
+            row = a.sum(axis=0)        # shape (4,)
+            return ((a * w) / (row.exp()) + row).sum()
+
+        assert_matches_per_client(fn, x, params={"w": np.ones((3, 4))})
+
+    def test_concat_and_getitem(self):
+        x = np.linspace(-1, 1, 8).reshape(2, 4)
+
+        def fn(a, w):
+            b = Tensor.concat([a * w, a], axis=0)       # (4, 4)
+            picked = b[np.arange(4), np.array([1, 0, 3, 2])]
+            return picked.sum() + b[1:, :2].sum()
+
+        assert_matches_per_client(fn, x, params={"w": np.ones((2, 4))})
+
+    def test_advanced_index_feeds_flat_reduction(self):
+        # Regression: the replayed advanced-index result must be made
+        # C-contiguous, or the downstream pairwise-summed reduction blocks
+        # differently and the loss drifts by an ulp.
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((16, 16))
+
+        def fn(a, w):
+            b = a * w
+            picked = b[np.arange(16), np.arange(15, -1, -1)]
+            return picked.mean()
+
+        assert_matches_per_client(fn, x, params={"w": rng.standard_normal((16, 16))})
+
+    def test_nt_xent_composite(self):
+        from repro.ssl import nt_xent
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((4, 6))
+
+        def fn(a, w):
+            return nt_xent(a * w, a + w, 0.5)
+
+        assert_matches_per_client(fn, x, params={"w": rng.standard_normal((4, 6))})
+
+
+class TestUntraceable:
+    def _leaf(self):
+        trace = Trace()
+        return trace, trace.add_input("x", np.ones((4, 3)))
+
+    def test_bool_mask_rejected(self):
+        trace, x = self._leaf()
+        with pytest.raises(UntraceableError):
+            x[np.array([True, False, True, False])]
+
+    def test_none_and_ellipsis_rejected(self):
+        trace, x = self._leaf()
+        with pytest.raises(UntraceableError):
+            x[None]
+        with pytest.raises(UntraceableError):
+            x[..., 0]
+
+    def test_separated_advanced_indices_rejected(self):
+        trace = Trace()
+        x = trace.add_input("x", np.ones((3, 4, 3)))
+        with pytest.raises(UntraceableError):
+            x[np.array([0, 1]), :, np.array([0, 1])]
+
+    def test_dropout_rejected_while_tracing(self):
+        trace, x = self._leaf()
+        with pytest.raises(UntraceableError):
+            F.dropout(x, 0.5, training=True, rng=np.random.default_rng(0))
+
+    def test_eval_batch_norm_rejected_while_tracing(self):
+        trace, x = self._leaf()
+        with pytest.raises(UntraceableError):
+            F.batch_norm(x, np.zeros(3), np.ones(3), Tensor(np.ones(3)),
+                         Tensor(np.zeros(3)), training=False)
+
+    def test_conv_rejected_via_make_output(self):
+        trace = Trace()
+        x = trace.add_input("x", np.ones((1, 1, 4, 4)))
+        with pytest.raises(UntraceableError):
+            F.conv2d(x, Tensor(np.ones((1, 1, 2, 2))), stride=1, padding=0)
+
+    def test_item_and_backward_rejected(self):
+        trace, x = self._leaf()
+        with pytest.raises(UntraceableError):
+            x.sum().item()
+        with pytest.raises(UntraceableError):
+            x.sum().backward()
+
+    def test_scalar_output_required(self):
+        trace, x = self._leaf()
+        with pytest.raises(UntraceableError):
+            trace.set_output(x.sum(axis=0))
+
+    def test_replay_validates_leaf_shapes(self):
+        trace, x = self._leaf()
+        trace.set_output(x.sum())
+        trace.seal()
+        replay = BatchedReplay(trace, 3)
+        with pytest.raises(UntraceableError):
+            replay.run({"x": np.ones((2, 4, 3))}, {}, {})  # wrong K
+        with pytest.raises(UntraceableError):
+            replay.run({"x": np.ones((3, 4, 2))}, {}, {})  # wrong shape
+
+
+class TestTraceLifecycle:
+    def _sealed(self):
+        trace = Trace()
+        x = trace.add_input("x", np.ones((2, 3)))
+        w = trace.add_param("w", np.full((2, 3), 2.0))
+        trace.set_output((x * w).sum())
+        trace.seal()
+        return trace
+
+    def test_sealed_trace_rejects_recording(self):
+        trace = self._sealed()
+        with pytest.raises(UntraceableError):
+            trace.record("add", np.zeros(()), ())
+
+    def test_sealed_trace_pickles_and_deepcopies(self):
+        trace = self._sealed()
+        for clone in (pickle.loads(pickle.dumps(trace)), copy.deepcopy(trace)):
+            replay = BatchedReplay(clone, 2)
+            w = Tensor(np.full((2, 2, 3), 2.0), requires_grad=True)
+            loss, _ = replay.run({"x": np.ones((2, 2, 3))}, {"w": w}, {})
+            np.testing.assert_array_equal(loss.data, np.full(2, 12.0))
+
+    def test_unsealed_trace_cannot_replay(self):
+        trace = Trace()
+        trace.add_input("x", np.ones(3))
+        with pytest.raises(UntraceableError):
+            BatchedReplay(trace, 2)
+
+
+class TestBatchedSGD:
+    def test_validates_leading_axis(self):
+        good = Tensor(np.zeros((4, 3)), requires_grad=True)
+        BatchedSGD([good], lr=0.1, num_clients=4)
+        bad = Tensor(np.zeros((3, 4)), requires_grad=True)
+        with pytest.raises(ValueError):
+            BatchedSGD([bad], lr=0.1, num_clients=4)
+        scalar = Tensor(np.zeros(()), requires_grad=True)
+        with pytest.raises(ValueError):
+            BatchedSGD([scalar], lr=0.1, num_clients=4)
+
+    def test_stacked_step_matches_per_client_sgd(self):
+        from repro.nn.optim import SGD
+        rng = np.random.default_rng(0)
+        stacked = Tensor(rng.standard_normal((3, 2, 2)), requires_grad=True)
+        grads = rng.standard_normal((3, 2, 2))
+        singles = [Tensor(stacked.data[i].copy(), requires_grad=True)
+                   for i in range(3)]
+        batched = BatchedSGD([stacked], lr=0.1, momentum=0.9,
+                             weight_decay=0.01, num_clients=3)
+        for _ in range(3):
+            stacked.grad = grads.copy()
+            batched.step()
+        for i, single in enumerate(singles):
+            opt = SGD([single], lr=0.1, momentum=0.9, weight_decay=0.01)
+            for _ in range(3):
+                single.grad = grads[i].copy()
+                opt.step()
+            np.testing.assert_array_equal(stacked.data[i], single.data)
