@@ -31,6 +31,7 @@ from repro.fl import (
     build_federation,
     payload_nbytes,
 )
+from repro.ioutil import atomic_write_text
 from repro.manifold import tsne_embed
 from repro.nn import SmallConvEncoder, Tensor
 from repro.ssl import nt_xent
@@ -303,8 +304,7 @@ def main(argv=None) -> int:
                        "rounds": rounds, "speedup": speedup,
                        "rows": cohort_rows},
         }
-        with open(args.json, "w") as stream:
-            json.dump(payload, stream, indent=2)
+        atomic_write_text(args.json, json.dumps(payload, indent=2) + "\n")
         print(f"wrote {args.json}")
 
     status = 0

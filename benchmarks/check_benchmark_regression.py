@@ -31,6 +31,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.ioutil import atomic_write_text
+
 DEFAULT_THRESHOLDS = Path(__file__).resolve().parent / "benchmark_thresholds.json"
 DEFAULT_HEADROOM = 4.0
 
@@ -100,12 +102,11 @@ def main(argv=None) -> int:
         headroom = DEFAULT_HEADROOM
 
     if args.out:
-        with open(args.out, "w") as stream:
-            json.dump({
-                "calibration_seconds": calibration,
-                "mean_seconds": benchmarks,
-                "normalized": normalized,
-            }, stream, indent=2, sort_keys=True)
+        atomic_write_text(args.out, json.dumps({
+            "calibration_seconds": calibration,
+            "mean_seconds": benchmarks,
+            "normalized": normalized,
+        }, indent=2, sort_keys=True) + "\n")
         print(f"wrote {args.out}")
 
     if args.update:
@@ -116,9 +117,8 @@ def main(argv=None) -> int:
             "max_normalized": {name: round(ratio * headroom, 3)
                                for name, ratio in sorted(normalized.items())},
         }
-        with open(thresholds_path, "w") as stream:
-            json.dump(payload, stream, indent=2, sort_keys=True)
-            stream.write("\n")
+        atomic_write_text(thresholds_path,
+                          json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"updated {thresholds_path} ({len(normalized)} ceilings, "
               f"headroom {headroom}x)")
         return 0

@@ -6,6 +6,11 @@ any target file does not exist.  External links (``http(s)://``) and
 pure anchors (``#...``) are skipped; a ``path#anchor`` link checks only
 the file part.
 
+Also cross-checks ``docs/invariants.md`` against the invariant checker's
+rule sources (regex over ``src/repro/analysis/``, no imports — the lint
+environment has no numpy): every registered rule id must be documented,
+and every documented id must exist.
+
 Usage::
 
     python benchmarks/check_docs_links.py
@@ -21,6 +26,13 @@ LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 # Prose references like `docs/artifacts.md` outside Markdown links; these
 # are repo-root-relative by convention (a bare `docs/` with no file is fine).
 BARE_DOCS_PATTERN = re.compile(r"\bdocs/[A-Za-z0-9_.-]+(?:/[A-Za-z0-9_.-]+)*")
+
+RULE_ID_PATTERN = re.compile(r"\b(?:DET|ATM|FPR|LAY|TRC|PKL|SUP)\d{3}\b")
+# Rule declarations: `id = "DET001"` in rule classes, and the SUP keys of
+# SUPPRESSION_RULES (`"SUP001": ...`).
+RULE_DECL_PATTERN = re.compile(
+    r'(?:id\s*=\s*|^\s*)"((?:DET|ATM|FPR|LAY|TRC|PKL|SUP)\d{3})"',
+    re.MULTILINE)
 
 
 def markdown_files():
@@ -50,12 +62,33 @@ def check_file(path: Path) -> list:
     return broken
 
 
+def check_rule_catalogue() -> list:
+    """Rule ids in docs/invariants.md <-> rule sources, both directions."""
+    invariants = REPO_ROOT / "docs" / "invariants.md"
+    analysis = REPO_ROOT / "src" / "repro" / "analysis"
+    if not invariants.is_file():
+        return ["docs/invariants.md is missing (the rule catalogue)"]
+    documented = set(RULE_ID_PATTERN.findall(invariants.read_text()))
+    declared = set()
+    for source in sorted(analysis.rglob("*.py")):
+        declared.update(RULE_DECL_PATTERN.findall(source.read_text()))
+    problems = []
+    for rule_id in sorted(declared - documented):
+        problems.append(f"docs/invariants.md: rule {rule_id} is registered "
+                        f"but undocumented")
+    for rule_id in sorted(documented - declared):
+        problems.append(f"docs/invariants.md: documents rule {rule_id}, "
+                        f"which no checker source declares")
+    return problems
+
+
 def main() -> int:
     files = list(markdown_files())
     if not files:
         print("FAIL: no Markdown files found", file=sys.stderr)
         return 1
     broken = [entry for path in files for entry in check_file(path)]
+    broken += check_rule_catalogue()
     if broken:
         print("\n".join(broken), file=sys.stderr)
         print(f"FAIL: {len(broken)} dead relative link(s) across "

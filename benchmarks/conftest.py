@@ -13,6 +13,8 @@ import pathlib
 
 import pytest
 
+from repro.ioutil import atomic_write_text
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
@@ -25,10 +27,10 @@ def results_dir() -> pathlib.Path:
 def persist(results_dir: pathlib.Path, name: str, text: str) -> None:
     """Print a result block and save it to benchmarks/results/<name>.txt."""
     print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
-    (results_dir / f"{name}.txt").write_text(text + "\n")
+    atomic_write_text(results_dir / f"{name}.txt", text + "\n")
 
 
 def persist_svg(results_dir: pathlib.Path, name: str, svg: str) -> None:
     """Save a rendered figure to benchmarks/results/<name>.svg."""
-    (results_dir / f"{name}.svg").write_text(svg)
+    atomic_write_text(results_dir / f"{name}.svg", svg)
     print(f"[figure saved: results/{name}.svg]")

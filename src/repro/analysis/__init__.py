@@ -1,0 +1,50 @@
+"""Static invariant checker for the repro codebase (``repro check``).
+
+Six PRs of substrate rest on contracts that used to live only in
+docstrings: bitwise determinism across execution backends, atomic
+write-then-rename persistence, fingerprint hygiene in :class:`RunKey`,
+strict import layering, trace/replay taping restrictions, and picklable
+execution payloads.  This package turns each of those contracts into an
+enforced rule: AST visitors walk ``src/``, ``benchmarks/`` and
+``examples/``, and every violation is either fixed or explicitly
+suppressed inline with a reason::
+
+    # repro: allow[DET001] -- standalone convenience; federated paths pass rng
+
+Suppressions are themselves validated — an unused suppression is an
+error — so the checker's output is always an exact statement of where
+the codebase deviates from its contracts and why.
+
+The package is deliberately dependency-free (stdlib only, no numpy), so
+``repro check`` runs in a bare lint environment; contract surfaces that
+live in heavier modules (``EXECUTION_FIELDS``, the config field lists)
+are read from their sources by AST rather than imported.
+
+See ``docs/invariants.md`` for the catalogue of contracts and rules.
+"""
+
+from .diagnostics import Diagnostic, format_github, format_json, format_text
+from .project import Project, SourceFile, load_project
+from .registry import RULES, Rule, rule_catalog
+from .runner import DEFAULT_PATHS, run_check
+from .suppressions import SUPPRESSION_RULES, Suppression, file_suppressions
+
+from . import rules  # noqa: E402,F401  (imported for rule registration)
+
+__all__ = [
+    "Diagnostic",
+    "format_text",
+    "format_json",
+    "format_github",
+    "Project",
+    "SourceFile",
+    "load_project",
+    "Rule",
+    "RULES",
+    "rule_catalog",
+    "run_check",
+    "DEFAULT_PATHS",
+    "Suppression",
+    "SUPPRESSION_RULES",
+    "file_suppressions",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — the dependency-free ``repro check``."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""The ``repro check`` command (also ``python -m repro.analysis``).
+
+The main CLI (:mod:`repro.cli`) wires this in as the ``check``
+subcommand, but the whole command — like the package — is stdlib-only,
+so ``python -m repro.analysis`` runs the identical check in a bare lint
+environment where numpy is not installed.
+
+Exit codes: ``0`` clean, ``1`` diagnostics found, ``2`` usage error
+(bad path, no repo root).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .diagnostics import format_github, format_json, format_text
+from .registry import rule_catalog
+from .runner import DEFAULT_PATHS, find_repo_root, run_check
+
+__all__ = ["add_check_arguments", "run_check_command", "main"]
+
+_FORMATTERS = {
+    "text": format_text,
+    "json": format_json,
+    "github": format_github,
+}
+
+
+def add_check_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the ``check`` flags on ``parser`` (shared with repro.cli)."""
+    parser.add_argument("paths", nargs="*", metavar="PATH",
+                        help="directories or files to check, relative to the "
+                             f"repo root (default: {' '.join(DEFAULT_PATHS)})")
+    parser.add_argument("--root", default=None, metavar="DIR",
+                        help="repo root (default: walk up from cwd to the "
+                             "directory holding pyproject.toml and src/)")
+    parser.add_argument("--format", default="text", dest="output_format",
+                        choices=sorted(_FORMATTERS),
+                        help="diagnostic rendering: human 'text', stable "
+                             "'json' for tooling, 'github' workflow "
+                             "annotations (default: text)")
+    parser.add_argument("--select", nargs="+", default=None, metavar="RULE",
+                        help="run only these rule ids (suppression checks "
+                             "always run)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+
+
+def run_check_command(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule_id, summary, scope in rule_catalog():
+            scope_text = f" [{', '.join(scope)}]" if scope else ""
+            print(f"{rule_id}  {summary}{scope_text}")
+        return 0
+    if args.root is not None:
+        root = Path(args.root)
+        if not root.is_dir():
+            print(f"--root {args.root} is not a directory", file=sys.stderr)
+            return 2
+    else:
+        try:
+            root = find_repo_root(Path.cwd())
+        except FileNotFoundError as error:
+            print(error, file=sys.stderr)
+            return 2
+    if args.select:
+        from .registry import RULES
+        unknown = [rule_id for rule_id in args.select if rule_id not in RULES]
+        if unknown:
+            print(f"unknown rule id(s): {unknown} "
+                  "(see --list-rules)", file=sys.stderr)
+            return 2
+    paths = tuple(args.paths) if args.paths else None
+    if paths:
+        missing = [p for p in paths if not (root / p).exists()]
+        if missing:
+            print(f"no such path(s) under {root}: {missing}", file=sys.stderr)
+            return 2
+    try:
+        diagnostics = run_check(root, paths=paths, select=args.select)
+    except SyntaxError as error:
+        print(f"cannot parse {error.filename}:{error.lineno}: {error.msg}",
+              file=sys.stderr)
+        return 2
+    output = _FORMATTERS[args.output_format](diagnostics)
+    if output:
+        print(output)
+    if args.output_format == "text":
+        noun = "diagnostic" if len(diagnostics) == 1 else "diagnostics"
+        print(f"{len(diagnostics)} {noun}"
+              + ("" if diagnostics else " - all invariants hold"))
+    return 1 if diagnostics else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static invariant checker for the repro codebase "
+                    "(stdlib-only spelling of 'repro check').")
+    add_check_arguments(parser)
+    return run_check_command(parser.parse_args(argv))

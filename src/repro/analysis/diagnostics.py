@@ -1,0 +1,64 @@
+"""Structured diagnostics and the three output formats of ``repro check``.
+
+A :class:`Diagnostic` is one finding: rule id, location, message, and a
+fix hint.  Diagnostics sort by (path, line, rule) so output is stable
+regardless of rule execution order — the JSON form is golden-testable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import List, Sequence
+
+__all__ = ["Diagnostic", "format_text", "format_json", "format_github"]
+
+JSON_SCHEMA = 1
+"""Version stamp of the ``--format json`` payload."""
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One rule finding, anchored to a source line."""
+
+    path: str
+    """Repo-root-relative POSIX path."""
+    line: int
+    rule: str
+    message: str
+    hint: str = ""
+    """How to fix (or legitimately suppress) the finding."""
+
+
+def format_text(diagnostics: Sequence[Diagnostic]) -> str:
+    """Human-oriented one-line-per-finding rendering."""
+    parts: List[str] = []
+    for diag in sorted(diagnostics):
+        line = f"{diag.path}:{diag.line}: {diag.rule} {diag.message}"
+        if diag.hint:
+            line += f" [{diag.hint}]"
+        parts.append(line)
+    return "\n".join(parts)
+
+
+def format_json(diagnostics: Sequence[Diagnostic]) -> str:
+    """Machine-oriented rendering; stable key order, golden-testable."""
+    payload = {
+        "schema": JSON_SCHEMA,
+        "diagnostics": [asdict(diag) for diag in sorted(diagnostics)],
+    }
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+def format_github(diagnostics: Sequence[Diagnostic]) -> str:
+    """GitHub Actions workflow-command annotations (``::error ...``)."""
+    parts = []
+    for diag in sorted(diagnostics):
+        message = diag.message
+        if diag.hint:
+            message += f" ({diag.hint})"
+        # Workflow commands are newline-delimited; %0A escapes embedded ones.
+        message = message.replace("%", "%25").replace("\n", "%0A")
+        parts.append(f"::error file={diag.path},line={diag.line},"
+                     f"title={diag.rule}::{message}")
+    return "\n".join(parts)

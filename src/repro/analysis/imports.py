@@ -1,0 +1,109 @@
+"""Best-effort static import resolution shared by the rules.
+
+Rules need to know what a name *refers to* — ``np.random.default_rng``
+should be flagged whether it was spelled via ``import numpy as np``,
+``from numpy import random``, or ``from numpy.random import
+default_rng``.  :func:`import_origins` maps each locally bound name to
+the absolute dotted path it was imported from; :func:`resolve_call`
+turns a ``Name``/``Attribute`` chain into that absolute path.
+
+This is intentionally syntactic: reassignments and dynamic imports are
+invisible, which is the right trade for a checker — a contrived rebinding
+that evades a rule is exactly the kind of code a human reviewer flags.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from .project import SourceFile
+
+__all__ = ["import_origins", "resolve_call", "import_targets"]
+
+
+def _relative_base(source: SourceFile, level: int) -> str:
+    """The absolute package a ``from ...`` relative import resolves against."""
+    parts = source.module.split(".")
+    if not source.is_package:
+        parts = parts[:-1]
+    # level 1 = current package, each extra level climbs one parent.
+    if level > 1:
+        parts = parts[:len(parts) - (level - 1)]
+    return ".".join(parts)
+
+
+def import_origins(source: SourceFile) -> Dict[str, str]:
+    """Map every import-bound local name to its absolute dotted origin."""
+    origins: Dict[str, str] = {}
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    origins[alias.asname] = alias.name
+                else:
+                    # ``import a.b`` binds ``a`` to the top-level module.
+                    top = alias.name.split(".")[0]
+                    origins[top] = top
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = _relative_base(source, node.level)
+                module = f"{base}.{node.module}" if node.module else base
+            else:
+                module = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                origins[bound] = f"{module}.{alias.name}" if module else alias.name
+    return origins
+
+
+def resolve_call(func: ast.expr, origins: Dict[str, str]) -> Optional[str]:
+    """Absolute dotted path a call target resolves to, or None.
+
+    ``Name`` nodes resolve through ``origins`` (falling back to the bare
+    name, so builtins like ``open`` and ``set`` resolve to themselves);
+    ``Attribute`` chains resolve their root the same way and append the
+    attribute path.  Anything else (subscripts, calls-of-calls) is opaque.
+    """
+    parts: List[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = origins.get(node.id, node.id)
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+def import_targets(source: SourceFile) -> List[Tuple[ast.stmt, str]]:
+    """Every import statement with the absolute module it targets.
+
+    ``from X import a, b`` yields one entry (module ``X``); ``import X,
+    Y`` yields one per alias.  Used by the layering rule, which cares
+    about module-to-module edges rather than bound names.
+    """
+    targets: List[Tuple[ast.stmt, str]] = []
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                targets.append((node, alias.name))
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = _relative_base(source, node.level)
+                module = f"{base}.{node.module}" if node.module else base
+            else:
+                module = node.module or ""
+            if module:
+                targets.append((node, module))
+            # ``from repro import runs`` binds subpackages without naming
+            # them in ``module`` — surface each alias as its own edge so
+            # the layering rule can't be sidestepped via the top package.
+            if module == "repro":
+                for alias in node.names:
+                    if alias.name != "*":
+                        targets.append((node, f"repro.{alias.name}"))
+    return targets

@@ -1,0 +1,135 @@
+"""The unit the checker operates on: a parsed snapshot of the repo.
+
+A :class:`Project` is a list of :class:`SourceFile` — path, dotted module
+name, source text, and parsed AST — rooted at the repository root.  Rules
+receive the whole project so cross-file contracts (layering, fingerprint
+classification) can be checked without importing any repro module.
+
+Module names mirror how the code is actually imported: files under
+``src/`` drop the ``src`` prefix (``src/repro/fl/client.py`` →
+``repro.fl.client``), everything else keeps its tree position
+(``benchmarks/conftest.py`` → ``benchmarks.conftest``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+__all__ = ["SourceFile", "Project", "load_project", "module_name_for",
+           "parse_snippet"]
+
+
+def module_name_for(rel_path: Path) -> str:
+    """Dotted module name for a root-relative ``.py`` path."""
+    parts = list(rel_path.with_suffix("").parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class SourceFile:
+    """One parsed source file."""
+
+    path: Path
+    """Absolute filesystem path."""
+    rel: str
+    """Root-relative POSIX path — the spelling used in diagnostics."""
+    module: str
+    """Dotted module name (``repro.fl.client``, ``benchmarks.conftest``)."""
+    text: str
+    tree: ast.Module
+    is_package: bool
+    """True for ``__init__.py`` (relative-import resolution differs)."""
+
+    @property
+    def lines(self) -> List[str]:
+        return self.text.splitlines()
+
+    def in_scope(self, prefixes: Optional[Sequence[str]]) -> bool:
+        """Whether this file falls under any of the module ``prefixes``.
+
+        ``None`` means unscoped (every file); a prefix matches the module
+        itself or any submodule of it.
+        """
+        if prefixes is None:
+            return True
+        return any(self.module == prefix or self.module.startswith(prefix + ".")
+                   for prefix in prefixes)
+
+
+@dataclass
+class Project:
+    """A checkable snapshot: the root plus every collected source file."""
+
+    root: Path
+    files: List[SourceFile] = field(default_factory=list)
+
+    def by_module(self, module: str) -> Optional[SourceFile]:
+        """The file defining ``module``, or None if not collected."""
+        for source in self.files:
+            if source.module == module:
+                return source
+        return None
+
+
+def _iter_py_files(root: Path, paths: Iterable[Union[str, Path]]) -> List[Path]:
+    collected: List[Path] = []
+    for entry in paths:
+        target = root / entry
+        if target.is_dir():
+            collected.extend(sorted(target.rglob("*.py")))
+        elif target.is_file():
+            collected.append(target)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {target}")
+    return collected
+
+
+def load_project(root: Union[str, Path],
+                 paths: Optional[Sequence[Union[str, Path]]] = None) -> Project:
+    """Collect and parse every ``.py`` file under ``paths`` (relative to
+    ``root``).  A file that fails to parse raises ``SyntaxError`` with its
+    path — a broken file must fail the check loudly, not be skipped.
+    """
+    from .runner import DEFAULT_PATHS  # cycle-free: runner imports lazily
+
+    root = Path(root).resolve()
+    if paths is None:
+        paths = [entry for entry in DEFAULT_PATHS if (root / entry).exists()]
+    project = Project(root=root)
+    for path in _iter_py_files(root, paths):
+        rel_path = path.relative_to(root)
+        text = path.read_text()
+        try:
+            tree = ast.parse(text, filename=str(path))
+        except SyntaxError as error:
+            raise SyntaxError(f"{rel_path}: {error}") from error
+        project.files.append(SourceFile(
+            path=path,
+            rel=rel_path.as_posix(),
+            module=module_name_for(rel_path),
+            text=text,
+            tree=tree,
+            is_package=path.name == "__init__.py",
+        ))
+    return project
+
+
+def parse_snippet(rel: str, text: str) -> SourceFile:
+    """Build a standalone :class:`SourceFile` from source text (tests)."""
+    rel_path = Path(rel)
+    return SourceFile(
+        path=rel_path,
+        rel=rel_path.as_posix(),
+        module=module_name_for(rel_path),
+        text=text,
+        tree=ast.parse(text),
+        is_package=rel_path.name == "__init__.py",
+    )
+

@@ -1,0 +1,84 @@
+"""The pluggable rule registry.
+
+A rule is a subclass of :class:`Rule` registered with :func:`register`.
+Per-file rules implement :meth:`Rule.check_file`; cross-file rules
+(fingerprint classification) implement :meth:`Rule.check_project`.  Each
+rule carries a module ``scope`` — the prefixes it applies to — so a
+contract can be enforced exactly where the codebase depends on it and
+nowhere else, which is what lets the checker run clean repo-wide from
+day one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Type
+
+from .diagnostics import Diagnostic
+from .project import Project, SourceFile
+from .suppressions import SUPPRESSION_RULES
+
+__all__ = ["Rule", "register", "RULES", "rule_catalog", "known_rule_ids"]
+
+
+class Rule:
+    """Base class for one enforced invariant.
+
+    Subclasses set the class attributes and override exactly one of
+    :meth:`check_file` (runs once per in-scope file) or
+    :meth:`check_project` (runs once per check, for contracts that span
+    files).
+    """
+
+    id: str = ""
+    """Stable rule id (``DET001``), the spelling suppressions use."""
+    summary: str = ""
+    """One-line statement of the contract the rule enforces."""
+    scope: Optional[Tuple[str, ...]] = None
+    """Module prefixes the rule applies to; None = every collected file."""
+
+    def check_file(self, source: SourceFile,
+                   project: Project) -> Iterable[Diagnostic]:
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Diagnostic]:
+        return ()
+
+    def diagnostic(self, source_rel: str, line: int, message: str,
+                   hint: str = "") -> Diagnostic:
+        return Diagnostic(path=source_rel, line=line, rule=self.id,
+                          message=message, hint=hint)
+
+
+RULES: Dict[str, Rule] = {}
+"""Registered rule instances, keyed by rule id."""
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule (instantiated once) to the registry."""
+    rule = rule_cls()
+    if not rule.id or not rule.summary:
+        raise ValueError(f"rule {rule_cls.__name__} must define id and summary")
+    if rule.id in RULES:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    RULES[rule.id] = rule
+    return rule_cls
+
+
+def known_rule_ids() -> Dict[str, str]:
+    """Every id a suppression may name → its one-line summary.
+
+    Includes the checker's own SUP rules so ``--list-rules`` documents
+    them, even though they cannot be suppressed themselves.
+    """
+    catalog = {rule_id: rule.summary for rule_id, rule in RULES.items()}
+    catalog.update(SUPPRESSION_RULES)
+    return catalog
+
+
+def rule_catalog() -> List[Tuple[str, str, Optional[Tuple[str, ...]]]]:
+    """(id, summary, scope) rows for ``repro check --list-rules``."""
+    rows = [(rule.id, rule.summary, rule.scope)
+            for rule in RULES.values()]
+    rows += [(rule_id, summary, None)
+             for rule_id, summary in SUPPRESSION_RULES.items()]
+    return sorted(rows)

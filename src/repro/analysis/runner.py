@@ -1,0 +1,80 @@
+"""Check execution: collect files, run rules, apply suppressions.
+
+:func:`run_check` is the single entry point behind ``repro check`` and
+the test suite's meta-check.  It is deterministic end to end: files are
+collected in sorted order, rules run in registration order, and the
+returned diagnostics are sorted by (path, line, rule).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from .diagnostics import Diagnostic
+from .project import Project, load_project
+from .registry import RULES, known_rule_ids
+from .suppressions import apply_suppressions
+
+__all__ = ["DEFAULT_PATHS", "run_check", "run_rules", "find_repo_root"]
+
+DEFAULT_PATHS = ("src", "benchmarks", "examples")
+"""The trees ``repro check`` walks when no explicit paths are given.
+
+``tests`` is deliberately absent: tests exercise violations on purpose
+(fixture corpora, unpicklable-payload regressions), so enforcing the
+contracts there would force suppressions onto intentional negatives.
+"""
+
+
+def find_repo_root(start: Union[str, Path, None] = None) -> Path:
+    """Walk upward from ``start`` (default: cwd) to the checkout root.
+
+    The root is the first directory holding a ``pyproject.toml`` next to
+    a ``src`` tree — the shape this repository always has.
+    """
+    current = Path(start or Path.cwd()).resolve()
+    for candidate in (current, *current.parents):
+        if (candidate / "pyproject.toml").is_file() and (candidate / "src").is_dir():
+            return candidate
+    raise FileNotFoundError(
+        f"no repository root (pyproject.toml + src/) at or above {current}")
+
+
+def run_rules(project: Project,
+              select: Optional[Sequence[str]] = None) -> List[Diagnostic]:
+    """Run every (selected) rule over ``project``; no suppression filtering.
+
+    ``select`` limits execution to the given rule ids — the fixture tests
+    use it to exercise one rule at a time.
+    """
+    rules = [RULES[rule_id] for rule_id in select] if select else list(RULES.values())
+    raw: List[Diagnostic] = []
+    for rule in rules:
+        raw.extend(rule.check_project(project))
+        for source in project.files:
+            if source.in_scope(rule.scope):
+                raw.extend(rule.check_file(source, project))
+    return raw
+
+
+def run_check(root: Union[str, Path, None] = None,
+              paths: Optional[Sequence[Union[str, Path]]] = None,
+              select: Optional[Sequence[str]] = None) -> List[Diagnostic]:
+    """Full check: load, run rules, apply (and validate) suppressions.
+
+    Returns the sorted list of surviving diagnostics — empty means the
+    tree honors every contract, with zero unused or malformed allows.
+    """
+    project = load_project(root if root is not None else find_repo_root(), paths)
+    raw = run_rules(project, select=select)
+    known = known_rule_ids()
+    final: List[Diagnostic] = []
+    by_path = {source.rel: source for source in project.files}
+    for source in project.files:
+        mine = [diag for diag in raw if diag.path == source.rel]
+        final.extend(apply_suppressions(source, mine, known))
+    # Project-rule diagnostics can anchor to files outside the collected
+    # set (never in practice); keep anything unmatched rather than drop it.
+    final.extend(diag for diag in raw if diag.path not in by_path)
+    return sorted(final)

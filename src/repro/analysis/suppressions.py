@@ -1,0 +1,131 @@
+"""Inline suppressions: ``# repro: allow[RULE-ID] -- reason``.
+
+A suppression silences matching diagnostics on its own line, or — when
+the comment stands alone on a line — on the next line.  Suppressions are
+contracts too, so they are validated like everything else:
+
+* ``SUP001`` — a suppression without a ``-- reason`` tail.  Every
+  deviation from a contract must say *why*, in the code, forever.
+* ``SUP002`` — an unused suppression.  Dead allows rot into land mines:
+  they silently re-admit the violation they once excused.
+* ``SUP003`` — a suppression naming a rule id the registry doesn't know
+  (typo'd ids would otherwise silently suppress nothing).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from .diagnostics import Diagnostic
+from .project import SourceFile
+
+__all__ = ["Suppression", "file_suppressions", "SUPPRESSION_RULES"]
+
+SUPPRESSION_RULES = {
+    "SUP001": "suppression is missing its '-- reason' tail",
+    "SUP002": "suppression matched no diagnostic (unused allow)",
+    "SUP003": "suppression names an unknown rule id",
+}
+
+_ALLOW_PATTERN = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rule>[A-Za-z0-9_-]+)\]"
+    r"(?:\s*--\s*(?P<reason>.*\S))?")
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro: allow[...]`` comment."""
+
+    rule: str
+    comment_line: int
+    """Line the comment sits on (anchor for SUP diagnostics)."""
+    target_line: int
+    """Line whose diagnostics it silences (next line for standalone
+    comments, the comment's own line otherwise)."""
+    reason: str = ""
+    used: bool = field(default=False, compare=False)
+
+    def matches(self, diagnostic: Diagnostic) -> bool:
+        return (diagnostic.rule == self.rule
+                and diagnostic.line == self.target_line)
+
+
+def _comments(text: str) -> Iterator[Tuple[int, int, str]]:
+    """(line, column, text) of every real comment token.
+
+    Tokenizing (rather than regex over lines) is what keeps a literal
+    ``# repro: allow[...]`` inside a docstring or error message from
+    being mistaken for a suppression.
+    """
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.start[1], token.string
+    except tokenize.TokenizeError:  # pragma: no cover - load_project parses first
+        return
+
+
+def file_suppressions(source: SourceFile) -> List[Suppression]:
+    """Parse every suppression comment in ``source``, in line order."""
+    found: List[Suppression] = []
+    for number, column, comment in _comments(source.text):
+        match = _ALLOW_PATTERN.search(comment)
+        if match is None:
+            continue
+        standalone = source.lines[number - 1][:column].strip() == ""
+        found.append(Suppression(
+            rule=match.group("rule"),
+            comment_line=number,
+            target_line=number + 1 if standalone else number,
+            reason=(match.group("reason") or "").strip(),
+        ))
+    return found
+
+
+def apply_suppressions(source: SourceFile, diagnostics: List[Diagnostic],
+                       known_rules: Dict[str, object]) -> List[Diagnostic]:
+    """Filter ``diagnostics`` through the file's suppressions.
+
+    Returns the surviving diagnostics plus any SUP001/SUP002/SUP003
+    findings the suppressions themselves earn.  A malformed or unknown-id
+    suppression never silences anything.
+    """
+    suppressions = file_suppressions(source)
+    kept: List[Diagnostic] = []
+    for suppression in suppressions:
+        if suppression.rule not in known_rules:
+            kept.append(Diagnostic(
+                path=source.rel, line=suppression.comment_line, rule="SUP003",
+                message=f"unknown rule id {suppression.rule!r} in suppression",
+                hint="run 'repro check --list-rules' for valid ids"))
+            suppression.used = True  # don't double-report as unused
+            continue
+        if not suppression.reason:
+            kept.append(Diagnostic(
+                path=source.rel, line=suppression.comment_line, rule="SUP001",
+                message=f"suppression of {suppression.rule} has no reason",
+                hint="write '# repro: allow[RULE] -- why this deviation is safe'"))
+            suppression.used = True
+            continue
+    valid = [s for s in suppressions if s.rule in known_rules and s.reason]
+    for diagnostic in diagnostics:
+        silenced = False
+        for suppression in valid:
+            if suppression.matches(diagnostic):
+                suppression.used = True
+                silenced = True
+        if not silenced:
+            kept.append(diagnostic)
+    for suppression in valid:
+        if not suppression.used:
+            kept.append(Diagnostic(
+                path=source.rel, line=suppression.comment_line, rule="SUP002",
+                message=(f"suppression of {suppression.rule} matched no "
+                         f"diagnostic"),
+                hint="the violation is gone - delete the allow comment"))
+    return kept

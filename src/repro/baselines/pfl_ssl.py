@@ -237,7 +237,7 @@ class PFLSSL(FederatedAlgorithm):
             traced_o = trace.add_input("view_o", view_o)
             outputs = template.compute(traced_e, traced_o)
             loss, metrics = self.local_loss(template, outputs,
-                                            np.random.default_rng(0))
+                                            derive_rng(0))
         if metrics:
             raise UntraceableError(
                 "per-batch loss metrics are not supported in batched mode")

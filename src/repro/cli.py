@@ -42,6 +42,7 @@ import sys
 from dataclasses import replace
 from typing import List, Optional
 
+from .analysis.cli import add_check_arguments, run_check_command
 from .eval import (
     NonIIDSetting,
     available_methods,
@@ -136,6 +137,16 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list methods and experiment panels")
+
+    check_parser = sub.add_parser(
+        "check",
+        help="run the static invariant checker over the codebase",
+        description="AST-check src/, benchmarks/ and examples/ against the "
+                    "repo's determinism, atomicity, fingerprint, layering, "
+                    "tracing and pickling contracts (docs/invariants.md). "
+                    "Exit 0 means every invariant holds; 'python -m "
+                    "repro.analysis' is the stdlib-only spelling.")
+    add_check_arguments(check_parser)
 
     run_parser = sub.add_parser("run", help="run methods on one workload")
     run_parser.add_argument("--method", action="append", required=True,
@@ -397,7 +408,7 @@ def _build_sweep(args, experiment: Optional[str] = None):
                                num_novel_clients=args.novel, config=config,
                                samples_per_client=args.samples)
     except IndexError as error:
-        raise SystemExit(f"--panel: {error}")
+        raise SystemExit(f"--panel: {error}") from error
     return sweep
 
 
@@ -662,6 +673,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return _command_list()
+    if args.command == "check":
+        return run_check_command(args)
     if args.command == "run":
         return _command_run(args)
     if args.command == "fig3":

@@ -96,8 +96,9 @@ def kmeans(
 
     labels = np.zeros(n, dtype=np.int64)
     converged = False
-    iteration = 0
+    iterations = 0
     for iteration in range(1, max_iterations + 1):
+        iterations = iteration
         distances = _squared_distances(points, centers)
         labels = distances.argmin(axis=1)
         new_centers = centers.copy()
@@ -118,7 +119,7 @@ def kmeans(
     labels = distances.argmin(axis=1)
     inertia = float(distances[np.arange(n), labels].sum())
     return KMeansResult(centers=centers, labels=labels, inertia=inertia,
-                        iterations=iteration, converged=converged)
+                        iterations=iterations, converged=converged)
 
 
 class KMeans:

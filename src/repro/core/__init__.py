@@ -5,6 +5,7 @@ three prototype loss terms of Algorithm 1, divergence-aware aggregation,
 and the :class:`Calibre` federated algorithm wrapping any SSL method.
 """
 
+from ..fl.client import derive_rng
 from .calibre import Calibre
 from .divergence import divergence_weights
 from .losses import (
@@ -21,6 +22,7 @@ from .prototypes import (
 
 __all__ = [
     "Calibre",
+    "derive_rng",
     "divergence_weights",
     "prototype_meta_loss",
     "prototype_contrastive_loss",

@@ -50,7 +50,7 @@ from ..eval.harness import (
     make_partitions,
 )
 from ..eval.registry import build_method
-from ..fl.client import build_federation
+from ..fl.client import build_federation, derive_rng
 from ..fl.session import SessionCallback, TrainingSession
 from ..manifold import silhouette_score, tsne_embed
 from ..runs import RunKey, SweepSpec, execute_cell, run_sweep
@@ -246,7 +246,7 @@ def compute_method_embeddings(
                         tsne_iterations=tsne_iterations)
     spec = scaled_spec(dataset_name, setting, list(methods), seed=seed, **spec_overrides)
     dataset = make_dataset(spec.dataset, seed=spec.seed, **spec.dataset_kwargs)
-    partition_rng = np.random.default_rng(spec.seed + 1)
+    partition_rng = derive_rng(spec.seed + 1)
     partitions = make_partitions(dataset.train.labels, spec.config.num_clients,
                                  spec.setting, partition_rng)
     encoder_factory = make_encoder_factory(

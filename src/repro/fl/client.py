@@ -67,12 +67,23 @@ class ClientData:
 
 
 def derive_rng(seed: int, *streams: int) -> np.random.Generator:
-    """Deterministic per-(round, client, ...) generator derivation.
+    """Deterministic generator derivation — the single RNG entry point.
 
     Pure in its arguments — never dependent on call order — which is the
     property the parallel execution backends need to reproduce serial runs
-    bitwise (see :mod:`repro.fl.execution`).
+    bitwise (see :mod:`repro.fl.execution`).  The DET001 invariant rule
+    (``repro check``) enforces that all randomness in the algorithm stack
+    flows through here; :mod:`repro.core` re-exports it as the documented
+    public spelling.
+
+    With ``streams``, the generator is seeded from the domain-separated
+    list ``[seed, s0+1, s1+1, ...]`` so distinct coordinates never collide.
+    With *no* streams it is the root stream ``default_rng(seed)`` — the
+    historical spelling federation building has always used, kept
+    bit-identical so every stored fingerprint and golden record survives.
     """
+    if not streams:
+        return np.random.default_rng(seed)
     return np.random.default_rng([seed] + [int(s) + 1 for s in streams])
 
 
@@ -115,7 +126,7 @@ def build_federation(
     dataset's unlabeled pool (STL-10) is sharded uniformly across clients
     when ``share_unlabeled`` is set.
     """
-    rng = np.random.default_rng(seed)
+    rng = derive_rng(seed)
     labels = dataset.train.labels
     clients: List[ClientData] = []
     unlabeled_shards: List[Optional[DataSplit]] = [None] * len(partitions)
@@ -158,7 +169,7 @@ def build_novel_clients(
     """
     if num_clients == 0:
         return []
-    rng = np.random.default_rng(seed)
+    rng = derive_rng(seed)
     per_class = max(
         8, (len(dataset.train) // max(dataset.num_classes, 1)) // max(num_clients // 4, 1)
     )

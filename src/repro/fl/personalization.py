@@ -51,6 +51,7 @@ def train_linear_probe(
         raise ValueError("train features/labels disagree on N")
     if train_features.shape[0] == 0:
         raise ValueError("cannot personalize with no training samples")
+    # repro: allow[DET001] -- unseeded convenience fallback; federated paths always pass rng
     rng = rng if rng is not None else np.random.default_rng()
     feature_dim = train_features.shape[1]
     if head is None:

@@ -47,6 +47,7 @@ class HistoryStreamer(SessionCallback):
             self._stream.write(line)
             return
         self._path.parent.mkdir(parents=True, exist_ok=True)
+        # repro: allow[ATM001] -- append-only event stream; consumers tolerate a truncated tail line
         with open(self._path, "a") as stream:
             stream.write(line)
 

@@ -36,6 +36,7 @@ def atomic_write_text(path: Union[str, Path], text: str) -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+    # repro: allow[ATM001] -- this IS the atomic primitive; the raw write hits the temp file only
     tmp.write_text(text)
     os.replace(tmp, path)
     return path

@@ -105,6 +105,7 @@ def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generat
         raise UntraceableError(
             "dropout with p > 0 draws a fresh mask per client and cannot be "
             "recorded for batched replay")
+    # repro: allow[DET001] -- unseeded convenience fallback; federated paths always pass rng
     rng = rng if rng is not None else np.random.default_rng()
     mask = (rng.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
     return x * Tensor(mask)

@@ -39,6 +39,7 @@ def compute_fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
 
 
 def _rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
+    # repro: allow[DET001] -- unseeded convenience fallback; federated paths always pass rng
     return rng if rng is not None else np.random.default_rng()
 
 

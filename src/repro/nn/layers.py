@@ -49,6 +49,7 @@ class Linear(Module):
         )
         if bias:
             bound = 1.0 / math.sqrt(in_features)
+            # repro: allow[DET001] -- unseeded convenience fallback; federated paths always pass rng
             generator = rng if rng is not None else np.random.default_rng()
             self.bias = Parameter(generator.uniform(-bound, bound, out_features).astype(dtype))
         else:
@@ -79,6 +80,7 @@ class Conv2d(Module):
         if bias:
             fan_in = in_channels * kernel_size * kernel_size
             bound = 1.0 / math.sqrt(fan_in)
+            # repro: allow[DET001] -- unseeded convenience fallback; federated paths always pass rng
             generator = rng if rng is not None else np.random.default_rng()
             self.bias = Parameter(generator.uniform(-bound, bound, out_channels).astype(dtype))
         else:
@@ -198,6 +200,7 @@ class Dropout(Module):
     def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None):
         super().__init__()
         self.p = p
+        # repro: allow[DET001] -- unseeded convenience fallback; federated paths always pass rng
         self._rng = rng if rng is not None else np.random.default_rng()
 
     def forward(self, x: Tensor) -> Tensor:

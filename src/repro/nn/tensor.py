@@ -636,6 +636,7 @@ class Tensor:
     @staticmethod
     def randn(shape, rng: Optional[np.random.Generator] = None, dtype=None,
               requires_grad: bool = False) -> "Tensor":
+        # repro: allow[DET001] -- unseeded convenience fallback; federated paths always pass rng
         rng = rng if rng is not None else np.random.default_rng()
         data = rng.standard_normal(shape).astype(dtype or _DEFAULT_DTYPE)
         return Tensor(data, requires_grad=requires_grad)

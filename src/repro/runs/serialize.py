@@ -34,6 +34,9 @@ from ..ioutil import atomic_write_text
 __all__ = [
     "RECORD_SCHEMA",
     "EXECUTION_FIELDS",
+    "FINGERPRINTED_FIELDS",
+    "SWEEP_FINGERPRINTED_FIELDS",
+    "SWEEP_COSMETIC_FIELDS",
     "to_jsonable",
     "canonical_json",
     "encode_record",
@@ -58,6 +61,33 @@ EXECUTION_FIELDS = ("backend", "workers", "shared_memory", "client_batch")
 """``FederatedConfig`` knobs that change wall-clock time but never results
 (see :mod:`repro.fl.execution`).  They are excluded from content hashes so
 a sweep resumed under a different scheduler still recognizes its cells."""
+
+FINGERPRINTED_FIELDS = (
+    "num_clients", "clients_per_round", "rounds", "local_epochs",
+    "batch_size", "learning_rate", "momentum", "weight_decay",
+    "personalization_epochs", "personalization_lr",
+    "personalization_batch_size", "test_fraction", "num_novel_clients",
+    "seed",
+)
+"""``FederatedConfig`` knobs that determine results and therefore hash into
+every :class:`~repro.runs.spec.RunKey` fingerprint.  Together with
+:data:`EXECUTION_FIELDS` this classifies *every* config field — the FPR001
+invariant rule (``repro check``) fails the build if a new field is added
+without deciding which list it belongs to."""
+
+SWEEP_FINGERPRINTED_FIELDS = (
+    "methods", "settings", "datasets", "seeds", "config", "variants",
+    "method_overrides", "dataset_kwargs", "encoder", "encoder_width",
+    "encoder_hidden_dims", "extras",
+)
+"""``SweepSpec`` fields that flow into each expanded cell's hashed payload.
+``variants`` is fingerprinted through its *overrides*; the cosmetic variant
+labels are excluded by :meth:`~repro.runs.spec.RunKey.semantic_payload`."""
+
+SWEEP_COSMETIC_FIELDS = ("name",)
+"""``SweepSpec`` fields that never reach a fingerprint (labels only).
+With :data:`SWEEP_FINGERPRINTED_FIELDS` this classifies every spec field —
+enforced by the FPR002 invariant rule."""
 
 
 def to_jsonable(value):

@@ -115,6 +115,7 @@ class RunStore:
     def _append_index(self, record: Dict, timing: Optional[Dict] = None) -> None:
         # One small single-line write in append mode: safe enough under
         # concurrent writers, and the index is a rebuildable cache anyway.
+        # repro: allow[ATM001] -- append-only journal of a rebuildable cache; rebuild_index() is atomic
         with open(self.index_path, "a") as stream:
             stream.write(json.dumps(_index_entry(record, timing),
                                     sort_keys=True) + "\n")

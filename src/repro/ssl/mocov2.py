@@ -45,6 +45,7 @@ class MoCoV2(SSLMethod):
         self._encoder_ema = EMAUpdater(self.encoder, self.key_encoder, key_decay)
         self._projector_ema = EMAUpdater(self.projector, self.key_projector, key_decay)
 
+        # repro: allow[DET001] -- unseeded convenience fallback; federated paths always pass rng
         generator = rng if rng is not None else np.random.default_rng()
         queue = generator.standard_normal((queue_size, projection_dim))
         self.queue = queue / np.linalg.norm(queue, axis=1, keepdims=True)

@@ -41,6 +41,7 @@ class SMoG(SSLMethod):
         self.temperature = temperature
         self.group_momentum = group_momentum
         self.num_groups = num_groups
+        # repro: allow[DET001] -- unseeded convenience fallback; federated paths always pass rng
         generator = rng if rng is not None else np.random.default_rng()
         groups = generator.standard_normal((num_groups, projection_dim))
         self.groups = groups / np.linalg.norm(groups, axis=1, keepdims=True)

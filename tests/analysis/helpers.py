@@ -1,0 +1,42 @@
+"""Shared helpers for the invariant-checker test corpus.
+
+Each rule family's test file feeds the checker small fixture snippets —
+at least one true positive and one near-miss negative per rule — through
+:func:`rule_diagnostics`, which runs exactly one rule over a single
+in-memory file (no disk, no suppression filtering).  Whole-pipeline
+behaviour (suppressions, multi-file fingerprint checks, the CLI) uses
+:func:`write_project`, which materializes a minimal repo under tmp_path.
+"""
+
+from pathlib import Path
+from typing import Dict, List
+
+from repro.analysis import Diagnostic, Project
+from repro.analysis.project import parse_snippet
+from repro.analysis.registry import RULES
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def rule_diagnostics(rule_id: str, rel: str, text: str) -> List[Diagnostic]:
+    """Run one rule over one snippet pretending to live at ``rel``."""
+    source = parse_snippet(rel, text)
+    project = Project(root=Path("."), files=[source])
+    rule = RULES[rule_id]
+    found = list(rule.check_project(project))
+    if source.in_scope(rule.scope):
+        found.extend(rule.check_file(source, project))
+    return found
+
+
+def rule_ids(diagnostics: List[Diagnostic]) -> List[str]:
+    return [diagnostic.rule for diagnostic in diagnostics]
+
+
+def write_project(root: Path, files: Dict[str, str]) -> Path:
+    """Materialize ``files`` (root-relative path -> text) under ``root``."""
+    for rel, text in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+    return root

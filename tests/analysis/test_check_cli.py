@@ -1,0 +1,97 @@
+"""The ``repro check`` command surface, and the live-repo meta-check."""
+
+import json
+
+import pytest
+
+from repro.analysis import run_check
+from repro.analysis.cli import main as check_main
+from repro.cli import build_parser, main as repro_main
+
+from .helpers import REPO_ROOT, write_project
+
+VIOLATION = (
+    "import numpy as np\n"
+    "rng = np.random.default_rng(0)\n"
+)
+
+
+class TestLiveRepo:
+    """The repo must honor its own contracts — the tentpole's exit gate."""
+
+    def test_checker_is_clean_on_this_repository(self):
+        assert run_check(REPO_ROOT) == []
+
+    def test_cli_exits_zero_on_this_repository(self, capsys):
+        assert check_main(["--root", str(REPO_ROOT)]) == 0
+        assert "all invariants hold" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_check_subcommand_parses(self):
+        args = build_parser().parse_args(
+            ["check", "src", "--format", "json"])
+        assert args.command == "check"
+        assert args.paths == ["src"]
+        assert args.output_format == "json"
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["check", "--format", "yaml"])
+
+
+class TestCommand:
+    def test_violations_exit_one_with_text(self, tmp_path, capsys):
+        write_project(tmp_path, {"src/repro/fl/fixture.py": VIOLATION})
+        (tmp_path / "pyproject.toml").write_text("")
+        status = check_main(["--root", str(tmp_path), "--select", "DET001"])
+        assert status == 1
+        out = capsys.readouterr().out
+        assert "fixture.py:2: DET001" in out
+        assert "1 diagnostic" in out
+
+    def test_json_format_is_machine_readable(self, tmp_path, capsys):
+        write_project(tmp_path, {"src/repro/fl/fixture.py": VIOLATION})
+        status = check_main(["--root", str(tmp_path), "--format", "json"])
+        assert status == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["diagnostics"][0]["rule"] == "DET001"
+
+    def test_github_format_annotates(self, tmp_path, capsys):
+        write_project(tmp_path, {"src/repro/fl/fixture.py": VIOLATION})
+        status = check_main(["--root", str(tmp_path), "--format", "github"])
+        assert status == 1
+        assert capsys.readouterr().out.startswith("::error file=src/repro/")
+
+    def test_explicit_paths_narrow_the_walk(self, tmp_path, capsys):
+        write_project(tmp_path, {
+            "src/repro/fl/fixture.py": VIOLATION,
+            "examples/demo.py": "x = 1\n",
+        })
+        assert check_main(["--root", str(tmp_path), "examples"]) == 0
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        write_project(tmp_path, {"src/repro/fl/fixture.py": "x = 1\n"})
+        assert check_main(["--root", str(tmp_path), "nonexistent"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_unknown_select_exits_two(self, capsys):
+        assert check_main(["--root", str(REPO_ROOT), "--select", "ZZZ9"]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_unparsable_file_exits_two(self, tmp_path, capsys):
+        write_project(tmp_path, {"src/repro/fl/broken.py": "def oops(:\n"})
+        assert check_main(["--root", str(tmp_path)]) == 2
+        assert "cannot parse" in capsys.readouterr().err
+
+    def test_list_rules_covers_every_family(self, capsys):
+        assert check_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DET001", "DET002", "DET003", "ATM001", "FPR001",
+                        "FPR002", "LAY001", "LAY002", "TRC001", "TRC002",
+                        "PKL001", "SUP001", "SUP002", "SUP003"):
+            assert rule_id in out
+
+    def test_main_cli_wires_check(self, capsys):
+        assert repro_main(["check", "--root", str(REPO_ROOT)]) == 0
+        assert "all invariants hold" in capsys.readouterr().out

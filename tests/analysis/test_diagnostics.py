@@ -1,0 +1,90 @@
+"""Diagnostic ordering and the three output formats (golden JSON)."""
+
+import json
+
+from repro.analysis import (
+    Diagnostic,
+    format_github,
+    format_json,
+    format_text,
+    run_check,
+)
+
+from .helpers import write_project
+
+FIXTURE = (
+    "import numpy as np\n"
+    "import time\n"
+    "rng = np.random.default_rng(0)\n"
+    "stamp = time.time()\n"
+)
+
+GOLDEN_JSON = """\
+{
+  "diagnostics": [
+    {
+      "hint": "derive the generator with derive_rng(seed, *streams)",
+      "line": 3,
+      "message": "direct np.random.default_rng call",
+      "path": "src/repro/fl/fixture.py",
+      "rule": "DET001"
+    },
+    {
+      "hint": "keep it out of anything recorded or hashed; suppress with a reason if it is diagnostics-only",
+      "line": 4,
+      "message": "time.time() is run-dependent ambient state",
+      "path": "src/repro/fl/fixture.py",
+      "rule": "DET002"
+    }
+  ],
+  "schema": 1
+}
+"""
+
+
+def _fixture_diagnostics(tmp_path):
+    write_project(tmp_path, {"src/repro/fl/fixture.py": FIXTURE})
+    return run_check(tmp_path, paths=["src"], select=["DET001", "DET002"])
+
+
+class TestOrdering:
+    def test_sorted_by_path_line_rule(self):
+        unsorted = [
+            Diagnostic("b.py", 2, "DET001", "m"),
+            Diagnostic("a.py", 9, "DET002", "m"),
+            Diagnostic("a.py", 9, "DET001", "m"),
+        ]
+        ordered = sorted(unsorted)
+        assert [(d.path, d.line, d.rule) for d in ordered] == [
+            ("a.py", 9, "DET001"), ("a.py", 9, "DET002"), ("b.py", 2, "DET001")]
+
+
+class TestFormats:
+    def test_text_format(self, tmp_path):
+        lines = format_text(_fixture_diagnostics(tmp_path)).splitlines()
+        assert lines[0].startswith("src/repro/fl/fixture.py:3: DET001 ")
+        assert lines[1].startswith("src/repro/fl/fixture.py:4: DET002 ")
+        assert "[derive the generator" in lines[0]
+
+    def test_golden_json(self, tmp_path):
+        rendered = format_json(_fixture_diagnostics(tmp_path))
+        assert rendered == GOLDEN_JSON
+        assert json.loads(rendered)["schema"] == 1
+
+    def test_github_format(self, tmp_path):
+        lines = format_github(_fixture_diagnostics(tmp_path)).splitlines()
+        assert lines[0].startswith(
+            "::error file=src/repro/fl/fixture.py,line=3,"
+            "title=DET001::direct np.random.default_rng call")
+
+    def test_github_escapes_newlines_and_percent(self):
+        rendered = format_github([
+            Diagnostic("a.py", 1, "DET001", "50% of\nruns diverge")])
+        assert "%0A" in rendered
+        assert "50%25 of" in rendered
+        assert len(rendered.splitlines()) == 1
+
+    def test_empty_renders_empty(self):
+        assert format_text([]) == ""
+        assert format_github([]) == ""
+        assert json.loads(format_json([]))["diagnostics"] == []

@@ -1,0 +1,60 @@
+"""Fixture corpus for ATM001 (atomic write-then-rename)."""
+
+from .helpers import rule_diagnostics, rule_ids
+
+
+class TestAtm001NonAtomicWrite:
+    def test_flags_raw_open_write(self):
+        found = rule_diagnostics("ATM001", "src/repro/runs/store_fix.py", (
+            "with open('out.json', 'w') as stream:\n"
+            "    stream.write('{}')\n"
+        ))
+        assert rule_ids(found) == ["ATM001"]
+        assert "'w'" in found[0].message
+
+    def test_flags_mode_keyword_and_append(self):
+        found = rule_diagnostics("ATM001", "src/repro/runs/store_fix.py", (
+            "stream = open('log.jsonl', mode='a')\n"
+        ))
+        assert rule_ids(found) == ["ATM001"]
+
+    def test_flags_json_dump(self):
+        found = rule_diagnostics("ATM001", "benchmarks/bench_fix.py", (
+            "import json\n"
+            "def save(payload, stream):\n"
+            "    json.dump(payload, stream)\n"
+        ))
+        assert rule_ids(found) == ["ATM001"]
+
+    def test_flags_write_text(self):
+        found = rule_diagnostics("ATM001", "src/repro/fl/session/ckpt_fix.py", (
+            "from pathlib import Path\n"
+            "Path('state.json').write_text('{}')\n"
+        ))
+        assert rule_ids(found) == ["ATM001"]
+
+    def test_near_miss_read_only_open(self):
+        found = rule_diagnostics("ATM001", "src/repro/runs/store_fix.py", (
+            "with open('out.json') as stream:\n"
+            "    data = stream.read()\n"
+            "with open('raw.bin', 'rb') as stream:\n"
+            "    blob = stream.read()\n"
+        ))
+        assert found == []
+
+    def test_near_miss_json_dumps(self):
+        # dumps returns a string for atomic_write_text - that's the fix.
+        found = rule_diagnostics("ATM001", "src/repro/runs/store_fix.py", (
+            "import json\n"
+            "from repro.ioutil import atomic_write_text\n"
+            "def save(payload):\n"
+            "    atomic_write_text('out.json', json.dumps(payload))\n"
+        ))
+        assert found == []
+
+    def test_near_miss_out_of_scope_module(self):
+        found = rule_diagnostics("ATM001", "src/repro/viz/svg_fix.py", (
+            "with open('scratch.svg', 'w') as stream:\n"
+            "    stream.write('<svg/>')\n"
+        ))
+        assert found == []

@@ -1,0 +1,118 @@
+"""Fixture corpus for the DET rule family."""
+
+from .helpers import rule_diagnostics, rule_ids
+
+
+class TestDet001UnblessedRng:
+    def test_flags_direct_default_rng(self):
+        found = rule_diagnostics("DET001", "src/repro/fl/sampling_fix.py", (
+            "import numpy as np\n"
+            "def pick(seed):\n"
+            "    rng = np.random.default_rng(seed)\n"
+            "    return rng.integers(10)\n"
+        ))
+        assert rule_ids(found) == ["DET001"]
+        assert found[0].line == 3
+        assert "derive_rng" in found[0].hint
+
+    def test_flags_stdlib_random(self):
+        found = rule_diagnostics("DET001", "src/repro/fl/sampling_fix.py", (
+            "import random\n"
+            "def pick():\n"
+            "    return random.random()\n"
+        ))
+        assert rule_ids(found) == ["DET001"]
+
+    def test_flags_aliased_import(self):
+        found = rule_diagnostics("DET001", "src/repro/fl/sampling_fix.py", (
+            "from numpy.random import default_rng as mk\n"
+            "rng = mk(0)\n"
+        ))
+        assert rule_ids(found) == ["DET001"]
+
+    def test_near_miss_derive_rng_call(self):
+        found = rule_diagnostics("DET001", "src/repro/fl/sampling_fix.py", (
+            "from repro.fl.client import derive_rng\n"
+            "def pick(seed):\n"
+            "    return derive_rng(seed, 3).integers(10)\n"
+        ))
+        assert found == []
+
+    def test_near_miss_inside_derive_rng_body(self):
+        # Something has to construct the generator: derive_rng itself.
+        found = rule_diagnostics("DET001", "src/repro/fl/client_fix.py", (
+            "import numpy as np\n"
+            "def derive_rng(seed, *streams):\n"
+            "    return np.random.default_rng([seed, *streams])\n"
+        ))
+        assert found == []
+
+    def test_near_miss_out_of_scope_module(self):
+        # repro.data sits below repro.fl and cannot import derive_rng.
+        found = rule_diagnostics("DET001", "src/repro/data/synthetic_fix.py", (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(0)\n"
+        ))
+        assert found == []
+
+
+class TestDet002WallClock:
+    def test_flags_time_time(self):
+        found = rule_diagnostics("DET002", "src/repro/runs/store_fix.py", (
+            "import time\n"
+            "stamp = time.time()\n"
+        ))
+        assert rule_ids(found) == ["DET002"]
+
+    def test_flags_datetime_now_and_urandom(self):
+        found = rule_diagnostics("DET002", "src/repro/runs/store_fix.py", (
+            "import os\n"
+            "from datetime import datetime\n"
+            "a = datetime.now()\n"
+            "b = os.urandom(8)\n"
+        ))
+        assert rule_ids(found) == ["DET002", "DET002"]
+
+    def test_near_miss_time_sleep(self):
+        # sleep changes wall-clock but produces no value to record.
+        found = rule_diagnostics("DET002", "src/repro/runs/store_fix.py", (
+            "import time\n"
+            "time.sleep(0.1)\n"
+        ))
+        assert found == []
+
+
+class TestDet003SetIteration:
+    def test_flags_for_over_set_literal(self):
+        found = rule_diagnostics("DET003", "src/repro/fl/agg_fix.py", (
+            "for name in {'a', 'b'}:\n"
+            "    print(name)\n"
+        ))
+        assert rule_ids(found) == ["DET003"]
+
+    def test_flags_list_of_set_call(self):
+        found = rule_diagnostics("DET003", "src/repro/fl/agg_fix.py", (
+            "names = list(set(['a', 'b']))\n"
+        ))
+        assert rule_ids(found) == ["DET003"]
+
+    def test_flags_comprehension_over_set_union(self):
+        found = rule_diagnostics("DET003", "src/repro/fl/agg_fix.py", (
+            "out = [n for n in {'a'} | {'b'}]\n"
+        ))
+        assert rule_ids(found) == ["DET003"]
+
+    def test_near_miss_sorted_set(self):
+        found = rule_diagnostics("DET003", "src/repro/fl/agg_fix.py", (
+            "for name in sorted({'a', 'b'}):\n"
+            "    print(name)\n"
+        ))
+        assert found == []
+
+    def test_near_miss_membership_only(self):
+        # Building and probing a set is fine; only iteration order is a hazard.
+        found = rule_diagnostics("DET003", "src/repro/fl/agg_fix.py", (
+            "seen = {'a', 'b'}\n"
+            "hit = 'a' in seen\n"
+        ))
+        assert found == []

@@ -1,0 +1,87 @@
+"""Suppression round-trips: allow comments silence, and are validated."""
+
+from repro.analysis import run_check
+from repro.analysis.project import parse_snippet
+from repro.analysis.suppressions import file_suppressions
+
+from .helpers import rule_ids, write_project
+
+VIOLATION = (
+    "import numpy as np\n"
+    "rng = np.random.default_rng(0)\n"
+)
+
+
+def _check(tmp_path, text, select=("DET001",)):
+    write_project(tmp_path, {"src/repro/fl/fixture.py": text})
+    return run_check(tmp_path, paths=["src"], select=list(select))
+
+
+class TestParsing:
+    def test_trailing_comment_targets_own_line(self):
+        source = parse_snippet("src/repro/fl/x.py", (
+            "x = 1  # repro: allow[DET001] -- because\n"
+        ))
+        (suppression,) = file_suppressions(source)
+        assert suppression.rule == "DET001"
+        assert suppression.target_line == 1
+        assert suppression.reason == "because"
+
+    def test_standalone_comment_targets_next_line(self):
+        source = parse_snippet("src/repro/fl/x.py", (
+            "# repro: allow[DET001] -- because\n"
+            "x = 1\n"
+        ))
+        (suppression,) = file_suppressions(source)
+        assert suppression.comment_line == 1
+        assert suppression.target_line == 2
+
+    def test_docstring_mention_is_not_a_suppression(self):
+        source = parse_snippet("src/repro/fl/x.py", (
+            '"""Docs show the syntax: # repro: allow[DET001] -- why."""\n'
+            "x = 1\n"
+        ))
+        assert file_suppressions(source) == []
+
+
+class TestRoundTrip:
+    def test_reasoned_allow_silences_the_diagnostic(self, tmp_path):
+        found = _check(tmp_path, (
+            "import numpy as np\n"
+            "# repro: allow[DET001] -- fixture exercises the allow path\n"
+            "rng = np.random.default_rng(0)\n"
+        ))
+        assert found == []
+
+    def test_unsuppressed_violation_survives(self, tmp_path):
+        found = _check(tmp_path, VIOLATION)
+        assert rule_ids(found) == ["DET001"]
+
+    def test_unused_allow_is_sup002(self, tmp_path):
+        found = _check(tmp_path, (
+            "# repro: allow[DET001] -- nothing here violates it\n"
+            "x = 1\n"
+        ))
+        assert rule_ids(found) == ["SUP002"]
+
+    def test_missing_reason_is_sup001_and_does_not_silence(self, tmp_path):
+        found = _check(tmp_path, (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(0)  # repro: allow[DET001]\n"
+        ))
+        assert rule_ids(found) == ["DET001", "SUP001"]
+
+    def test_unknown_rule_id_is_sup003(self, tmp_path):
+        found = _check(tmp_path, (
+            "# repro: allow[DET999] -- typo'd id\n"
+            "x = 1\n"
+        ))
+        assert rule_ids(found) == ["SUP003"]
+
+    def test_allow_for_other_rule_does_not_silence(self, tmp_path):
+        found = _check(tmp_path, (
+            "import numpy as np\n"
+            "# repro: allow[ATM001] -- wrong family\n"
+            "rng = np.random.default_rng(0)\n"
+        ))
+        assert sorted(rule_ids(found)) == ["DET001", "SUP002"]

@@ -83,17 +83,17 @@ def test_serial_imap_is_lazy():
 
 def test_process_imap_falls_back_on_unpicklable_task():
     unpicklable = lambda x: 2 * x  # noqa: E731 — closures cannot pickle
-    with ProcessBackend(workers=2) as backend:
-        with pytest.warns(RuntimeWarning, match="falling back"):
-            pairs = list(backend.imap_clients(unpicklable, range(5)))
+    with ProcessBackend(workers=2) as backend, \
+            pytest.warns(RuntimeWarning, match="falling back"):
+        pairs = list(backend.imap_clients(unpicklable, range(5)))
     assert pairs == [(i, 2 * i) for i in range(5)]
 
 
 def test_imap_task_exceptions_propagate():
     for backend_cls in (SerialBackend, ThreadBackend):
-        with backend_cls(workers=2, chunk_size=1) as backend:
-            with pytest.raises(ValueError, match="task failure"):
-                list(backend.imap_clients(_explode, range(4)))
+        with backend_cls(workers=2, chunk_size=1) as backend, \
+                pytest.raises(ValueError, match="task failure"):
+            list(backend.imap_clients(_explode, range(4)))
 
 
 def test_chunk_items_covers_everything_in_order():
@@ -170,11 +170,10 @@ def test_process_backend_falls_back_to_serial_on_unpicklable_task():
 def test_task_exceptions_propagate_not_fallback(backend_cls):
     # A bug inside a client task is not backend unavailability: it must
     # surface identically under every backend, with no fallback warning.
-    with backend_cls(workers=2) as backend:
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", RuntimeWarning)
-            with pytest.raises(ValueError, match="task failure"):
-                backend.map_clients(_explode, [1, 2, 3])
+    with backend_cls(workers=2) as backend, warnings.catch_warnings():
+        warnings.simplefilter("error", RuntimeWarning)
+        with pytest.raises(ValueError, match="task failure"):
+            backend.map_clients(_explode, [1, 2, 3])
 
 
 def test_process_backend_raises_without_fallback():

@@ -64,7 +64,8 @@ class TestSmallConv:
         a = SmallConvEncoder(width=4, rng=rng(0))
         b = SmallConvEncoder(width=4, rng=rng(1))
         b.load_state_dict(a.state_dict())
-        a.eval(), b.eval()
+        a.eval()
+        b.eval()
         x = Tensor(rng(2).standard_normal((2, 3, 12, 12)))
         np.testing.assert_allclose(a(x).data, b(x).data)
 

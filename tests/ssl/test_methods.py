@@ -191,7 +191,8 @@ class TestEMA:
             param.data += 3.0
         copy_module_weights(a, b)
         x = rng(11).standard_normal((2,) + IMAGE_SHAPE)
-        a.eval(), b.eval()
+        a.eval()
+        b.eval()
         from repro.nn import Tensor, no_grad
         with no_grad():
             np.testing.assert_allclose(a(Tensor(x)).data, b(Tensor(x)).data)
