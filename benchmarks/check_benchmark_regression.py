@@ -21,10 +21,18 @@ Regenerate ceilings after an intentional perf change::
 
     python benchmarks/check_benchmark_regression.py \
         --bench-json bench-timings.json --update
+
+Perf-trend history (ROADMAP item 5): every gated run can also append its
+normalized ratios to ``benchmarks/bench_history.jsonl`` (one JSON line
+per run) with ``--append-history``, and the gate reports each
+benchmark's delta against the *trailing median* of the recorded history —
+so a slow drift that never crosses the fixed ceiling is still visible,
+run over run, in CI logs and in the committed history file.
 """
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -34,7 +42,10 @@ import numpy as np
 from repro.ioutil import atomic_write_text
 
 DEFAULT_THRESHOLDS = Path(__file__).resolve().parent / "benchmark_thresholds.json"
+DEFAULT_HISTORY = Path(__file__).resolve().parent / "bench_history.jsonl"
 DEFAULT_HEADROOM = 4.0
+TREND_WINDOW = 20
+"""How many trailing history entries the median baseline considers."""
 
 
 def calibration_seconds(repeats: int = 5) -> float:
@@ -55,6 +66,48 @@ def calibration_seconds(repeats: int = 5) -> float:
             float(f + h)
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def load_history(path: Path):
+    """History entries, oldest first; torn tail lines are skipped."""
+    entries = []
+    if not path.is_file():
+        return entries
+    with open(path) as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entries.append(json.loads(line))
+            except ValueError:
+                continue  # a torn append; history is advisory
+    return entries
+
+
+def trailing_medians(entries, window: int = TREND_WINDOW):
+    """Per-benchmark median normalized ratio over the last ``window`` runs."""
+    recent = entries[-window:]
+    series = {}
+    for entry in recent:
+        for name, ratio in entry.get("normalized", {}).items():
+            series.setdefault(name, []).append(float(ratio))
+    return {name: float(np.median(values)) for name, values in series.items()}
+
+
+def append_history(path: Path, normalized, calibration: float,
+                   run_id: str) -> None:
+    entry = {
+        "run_id": run_id,
+        "recorded_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "calibration_seconds": calibration,
+        "normalized": {name: round(ratio, 4)
+                       for name, ratio in sorted(normalized.items())},
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # repro: allow[ATM001] -- append-only perf journal; readers skip torn tail lines
+    with open(path, "a") as stream:
+        stream.write(json.dumps(entry, sort_keys=True) + "\n")
 
 
 def load_benchmarks(path: Path):
@@ -83,6 +136,17 @@ def main(argv=None) -> int:
     parser.add_argument("--headroom", type=float, default=None,
                         help=f"headroom factor for --update "
                              f"(default: keep the file's, or {DEFAULT_HEADROOM})")
+    parser.add_argument("--history", default=str(DEFAULT_HISTORY),
+                        metavar="PATH",
+                        help="perf-trend journal (one JSON line per run); "
+                             "deltas are reported against its trailing "
+                             f"median over the last {TREND_WINDOW} runs")
+    parser.add_argument("--append-history", action="store_true",
+                        help="append this run's normalized ratios to the "
+                             "history journal after reporting")
+    parser.add_argument("--run-id", default=None, metavar="ID",
+                        help="label for the appended history entry "
+                             "(default: $GITHUB_SHA or 'local')")
     args = parser.parse_args(argv)
 
     benchmarks = load_benchmarks(Path(args.bench_json))
@@ -108,6 +172,32 @@ def main(argv=None) -> int:
             "normalized": normalized,
         }, indent=2, sort_keys=True) + "\n")
         print(f"wrote {args.out}")
+
+    history_path = Path(args.history)
+    history = load_history(history_path)
+    medians = trailing_medians(history)
+    if medians:
+        window = min(len(history), TREND_WINDOW)
+        width = max(len(name) for name in normalized)
+        print(f"perf trend vs trailing median of last {window} run(s) "
+              f"in {history_path.name}:")
+        for name, ratio in sorted(normalized.items()):
+            baseline = medians.get(name)
+            if baseline is None or baseline <= 0:
+                print(f"  {name:<{width}}  {ratio:>10.3f}  (no history)")
+                continue
+            delta = (ratio - baseline) / baseline * 100.0
+            print(f"  {name:<{width}}  {ratio:>10.3f}  "
+                  f"median {baseline:>8.3f}  {delta:+6.1f}%")
+    else:
+        print(f"no perf history at {history_path} yet "
+              "(--append-history records this run)")
+    if args.append_history:
+        run_id = (args.run_id if args.run_id
+                  else os.environ.get("GITHUB_SHA", "local")[:12])
+        append_history(history_path, normalized, calibration, run_id)
+        print(f"appended run {run_id!r} to {history_path} "
+              f"({len(history) + 1} entries)")
 
     if args.update:
         payload = {

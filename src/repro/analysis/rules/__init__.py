@@ -9,6 +9,7 @@ Importing this package registers every rule with
 ``layering``     LAY — declarative import-layer map
 ``tracing``      TRC — trace/replay taping restrictions
 ``pickling``     PKL — picklable execution payloads
+``telemetry``    TEL — observability stays out of hashed records
 """
 
 from . import (  # noqa: F401  (imported for registration side effect)
@@ -17,5 +18,6 @@ from . import (  # noqa: F401  (imported for registration side effect)
     fingerprint,
     layering,
     pickling,
+    telemetry,
     tracing,
 )

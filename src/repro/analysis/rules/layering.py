@@ -12,9 +12,9 @@ can never silently drift from reality.
     a package the map has never heard of).
 
 ``LAY002``
-    A third-party import in a stdlib-only package.  ``repro.ioutil`` and
-    ``repro.analysis`` must stay importable in a bare lint environment —
-    no numpy, no scipy.
+    A third-party import in a stdlib-only package.  ``repro.ioutil``,
+    ``repro.analysis``, and ``repro.telemetry`` must stay importable in a
+    bare lint environment — no numpy, no scipy.
 """
 
 from __future__ import annotations
@@ -28,33 +28,40 @@ from ..project import Project, SourceFile
 from ..registry import Rule, register
 
 LAYER_MAP: Dict[str, Tuple[str, ...]] = {
-    # Leaves: these import no other repro package.
+    # Leaves: these import no other repro package.  repro.telemetry is a
+    # near-leaf observation plane: stdlib-only, importable from anywhere
+    # below the presentation layer without creating cycles.
     "repro.ioutil": (),
     "repro.analysis": (),
-    "repro.nn": (),
+    "repro.telemetry": (),
+    "repro.nn": ("repro.telemetry",),
     "repro.viz": (),
     "repro.manifold": (),
     "repro.cluster": (),
-    "repro.data": (),
+    "repro.data": ("repro.telemetry",),
     # Mid-stack.
     "repro.ssl": ("repro.nn",),
-    "repro.fl": ("repro.data", "repro.ioutil", "repro.nn"),
-    "repro.baselines": ("repro.data", "repro.fl", "repro.nn", "repro.ssl"),
+    "repro.fl": ("repro.data", "repro.ioutil", "repro.nn",
+                 "repro.telemetry"),
+    "repro.baselines": ("repro.data", "repro.fl", "repro.nn", "repro.ssl",
+                        "repro.telemetry"),
     "repro.core": ("repro.baselines", "repro.cluster", "repro.fl",
                    "repro.nn", "repro.ssl"),
     # Orchestration and presentation.
     "repro.eval": ("repro.baselines", "repro.core", "repro.data", "repro.fl",
                    "repro.ioutil", "repro.nn", "repro.viz"),
-    "repro.runs": ("repro.eval", "repro.fl", "repro.ioutil"),
+    "repro.runs": ("repro.eval", "repro.fl", "repro.ioutil",
+                   "repro.telemetry"),
     "repro.experiments": ("repro.eval", "repro.fl", "repro.manifold",
                           "repro.runs", "repro.viz"),
     "repro.cli": ("repro.analysis", "repro.eval", "repro.experiments",
-                  "repro.fl", "repro.ioutil", "repro.runs"),
+                  "repro.fl", "repro.ioutil", "repro.runs",
+                  "repro.telemetry"),
 }
 """Allowed repro-internal import edges, per package.  The order mirrors
 docs/architecture.md's layer map bottom-up."""
 
-STDLIB_ONLY = ("repro.ioutil", "repro.analysis")
+STDLIB_ONLY = ("repro.ioutil", "repro.analysis", "repro.telemetry")
 """Packages that must not import anything outside the standard library."""
 
 _STDLIB = set(sys.stdlib_module_names) | {"__future__"}
@@ -103,7 +110,7 @@ class LayerMapRule(Rule):
 @register
 class StdlibOnlyRule(Rule):
     id = "LAY002"
-    summary = "repro.ioutil and repro.analysis must import only the stdlib"
+    summary = "stdlib-only packages (ioutil, analysis, telemetry) must import only the stdlib"
     scope = STDLIB_ONLY
 
     def check_file(self, source: SourceFile,

@@ -18,6 +18,7 @@ from typing import Dict, Hashable, List, Optional, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..data.augment import TwoViewAugment, default_ssl_augment
 from ..data.loader import batch_iterator
 from ..fl.algorithm import ClientUpdate, FederatedAlgorithm
@@ -215,6 +216,7 @@ class PFLSSL(FederatedAlgorithm):
             # are written only on success), so the per-client loop recomputes
             # the round from clean restored state.
             self._untraceable = True
+            telemetry.count("cohort.fallback_latches")
             return super().cohort_update(clients, global_state, round_index)
 
     def _record_trace(self, view_e: np.ndarray, view_o: np.ndarray,
@@ -300,11 +302,14 @@ class PFLSSL(FederatedAlgorithm):
                 cache_key = (tuple(views[0][0].shape), str(view_e.dtype), arch)
                 trace = self._trace_cache.get(cache_key)
                 if trace is None:
+                    telemetry.count("trace.cache_misses")
                     trace = self._record_trace(
                         views[0][0], views[0][1],
                         OrderedDict((name, stacked[name][0])
                                     for name in param_names))
                     self._trace_cache[cache_key] = trace
+                else:
+                    telemetry.count("trace.cache_hits")
                 replay = BatchedReplay(trace, len(clients))
                 loss, staged = replay.run(
                     {"view_e": view_e, "view_o": view_o}, leaves, buffers)

@@ -38,7 +38,9 @@ then render the figure as SVG purely from the stored records::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from contextlib import nullcontext
 from dataclasses import replace
 from typing import List, Optional
 
@@ -79,6 +81,13 @@ from .experiments.settings import SCALED_CONFIG
 from .fl.execution import available_backends
 from .ioutil import atomic_write_text
 from .runs import RunStore, outcome_from_records, run_sweep, save_outcome
+from .telemetry import (
+    Tracer,
+    chrome_trace,
+    chrome_trace_from_cells,
+    load_store_telemetry,
+    render_profile,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -200,6 +209,11 @@ def build_parser() -> argparse.ArgumentParser:
                             help="checkpoint after every K-th round "
                                  "(default: 1; larger K trades at most K-1 "
                                  "recomputed rounds for less write I/O)")
+    run_parser.add_argument("--trace-out", default=None, metavar="PATH",
+                            help="record span telemetry for the whole run "
+                                 "and write it as Chrome trace-event JSON "
+                                 "(open in Perfetto or chrome://tracing); "
+                                 "results are identical with or without it")
 
     fig3_parser = sub.add_parser("fig3", help="regenerate one Fig. 3 panel")
     fig3_parser.add_argument("--panel", type=int, default=0,
@@ -250,6 +264,15 @@ def build_parser() -> argparse.ArgumentParser:
                               metavar="K",
                               help="with --round-checkpoints: checkpoint "
                                    "after every K-th round (default: 1)")
+    sweep_parser.add_argument("--no-telemetry", action="store_true",
+                              help="skip the per-cell telemetry/<hash>.jsonl "
+                                   "span sidecars (store records are "
+                                   "byte-identical either way)")
+    sweep_parser.add_argument("--trace-out", default=None, metavar="PATH",
+                              help="after the sweep, combine the store's "
+                                   "telemetry sidecars into one Chrome "
+                                   "trace-event JSON (one process row per "
+                                   "cell; open in Perfetto)")
     sweep_parser.add_argument("--quiet", action="store_true",
                               help="suppress per-cell progress lines")
 
@@ -287,6 +310,23 @@ def build_parser() -> argparse.ArgumentParser:
     figures_parser.add_argument("--out", default=None, metavar="PATH",
                                 help="output SVG path (default: <figure>.svg, "
                                      "fig3/fig4: <figure>-panel<P>.svg)")
+
+    profile_parser = sub.add_parser(
+        "profile",
+        help="summarize a run store's telemetry sidecars (hot phases, "
+             "stragglers, counters)",
+        description="Read every telemetry/<fingerprint>.jsonl sidecar under "
+                    "the store and print, per cell, the time spent per "
+                    "phase, client-update statistics (including straggler "
+                    "spread: slowest client minus the round median), "
+                    "per-worker utilization, and counter totals. Purely "
+                    "read-only diagnostics.")
+    profile_parser.add_argument("store", metavar="DIR",
+                                help="run-store directory (the --runs-dir of "
+                                     "a sweep run with telemetry on)")
+    profile_parser.add_argument("--top", type=int, default=0, metavar="N",
+                                help="show only the N busiest workers per "
+                                     "cell (default: all)")
 
     return parser
 
@@ -347,11 +387,15 @@ def _command_run(args) -> int:
         config=config,
         name=f"{args.dataset} {args.setting}({args.param}, {args.samples})",
     )
+    # With --trace-out, an ambient tracer spans the entire run: every
+    # method's session, worker fragments included, lands on one timeline.
+    tracer = Tracer() if args.trace_out else None
     try:
-        outcome = run_experiment(spec, verbose=True,
-                                 checkpoint_dir=args.checkpoints,
-                                 resume=args.resume,
-                                 checkpoint_every=args.checkpoint_every)
+        with tracer.activate() if tracer is not None else nullcontext():
+            outcome = run_experiment(spec, verbose=True,
+                                     checkpoint_dir=args.checkpoints,
+                                     resume=args.resume,
+                                     checkpoint_every=args.checkpoint_every)
     except ValueError as error:
         if not args.resume:
             raise
@@ -367,6 +411,12 @@ def _command_run(args) -> int:
     if args.out:
         path = save_outcome(outcome, args.out)
         print(f"\nwrote {path}")
+    if tracer is not None:
+        payload = chrome_trace(tracer, process_name=spec.name)
+        path = atomic_write_text(args.trace_out,
+                                 json.dumps(payload, sort_keys=True))
+        print(f"wrote trace {path} ({len(payload['traceEvents'])} events; "
+              "open in https://ui.perfetto.dev)")
     return 0
 
 
@@ -458,9 +508,24 @@ def _command_sweep(args) -> int:
                         round_checkpoints=args.round_checkpoints,
                         checkpoint_every=args.checkpoint_every,
                         executor=executor,
+                        telemetry=not args.no_telemetry,
                         verbose=not args.quiet)
     print(summary.describe())
     print(f"store: {store.root} ({len(store)} cells)")
+    if args.trace_out:
+        cells = load_store_telemetry(str(store.root))
+        if not cells:
+            print("no telemetry sidecars to combine (swept with "
+                  "--no-telemetry, or nothing executed yet)", file=sys.stderr)
+        else:
+            labeled = [(f"{fingerprint[:12]} "
+                        f"{cell.meta.get('label', '')}".strip(), cell)
+                       for fingerprint, cell in cells]
+            payload = chrome_trace_from_cells(labeled)
+            path = atomic_write_text(args.trace_out,
+                                     json.dumps(payload, sort_keys=True))
+            print(f"wrote trace {path} ({len(cells)} cells; open in "
+                  "https://ui.perfetto.dev)")
     if summary.complete:
         flags = _grid_flags(args)
         print(f"complete — regenerate tables anytime with: repro report {flags}")
@@ -484,12 +549,23 @@ def _print_timings(store: RunStore, cells) -> None:
     print("cell timings (from index.jsonl):")
     totals = []
     rows_missing = 0
+    rows_resumed = 0
     for key in cells:
         timing = timings.get(key.fingerprint)
         if timing is None:
             rows_missing += 1
             continue
         wall = timing.get("wall_clock_s")
+        if wall is None:
+            # A resumed cell carries the marker instead of numbers: its
+            # elapsed covered only the recomputed tail of the run.
+            if timing.get("resumed"):
+                rows_resumed += 1
+                print(f"  {key.fingerprint}   (resumed)            "
+                      f"{key.label()}")
+            else:
+                rows_missing += 1
+            continue
         per_round = timing.get("mean_round_s")
         totals.append(wall)
         per_round_text = f" ({per_round:8.3f}s/round)" if per_round else ""
@@ -497,6 +573,9 @@ def _print_timings(store: RunStore, cells) -> None:
     if totals:
         print(f"  total {sum(totals):.3f}s over {len(totals)} cells, "
               f"mean {sum(totals) / len(totals):.3f}s/cell")
+    if rows_resumed:
+        print(f"  ({rows_resumed} cell(s) finished from a mid-cell "
+              "checkpoint: no comparable wall clock)")
     if rows_missing:
         print(f"  ({rows_missing} cell(s) have no recorded timing)")
 
@@ -669,6 +748,22 @@ def _command_figures(args) -> int:
     return 0
 
 
+def _command_profile(args) -> int:
+    try:
+        store = RunStore(args.store, create=False)
+    except FileNotFoundError as error:
+        print(error, file=sys.stderr)
+        return 1
+    cells = load_store_telemetry(str(store.root))
+    if not cells:
+        print(f"no telemetry sidecars under {store.telemetry_dir} "
+              "(sweep with telemetry on — the default — to produce them)",
+              file=sys.stderr)
+        return 1
+    print(render_profile(cells, top=args.top), end="")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -695,6 +790,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_report(args)
     if args.command == "figures":
         return _command_figures(args)
+    if args.command == "profile":
+        return _command_profile(args)
     return 2  # unreachable given required=True
 
 

@@ -37,6 +37,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry
+
 try:
     from multiprocessing import shared_memory as _shared_memory
 except ImportError:  # stripped-down builds without _multiprocessing
@@ -345,6 +347,10 @@ def share_client_splits(clients: Sequence) -> Optional[SharedArrayStore]:
         return None
     for client, attr, split in pending:
         setattr(client, attr, split.to_handle(store))
+    telemetry.count("shm.segment_bytes", store.nbytes)
+    telemetry.count("shm.splits_registered", len(pending))
+    telemetry.count("shm.clients_registered",
+                    len({id(client) for client, _, _ in pending}))
     return store
 
 

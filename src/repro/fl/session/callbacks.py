@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 import math
+from contextlib import nullcontext
 from pathlib import Path
 from typing import IO, Callable, Dict, List, Optional, Tuple, Union
 
@@ -23,6 +24,24 @@ __all__ = [
     "EarlyStopping",
     "RoundCheckpointer",
 ]
+
+
+def _session_span(session, name: str, **attrs):
+    """A span on the session's tracer, or a no-op when telemetry is off.
+
+    Callbacks fire inside the round loop but may also run against shim
+    hosts without a tracer attribute, hence the ``getattr``.
+    """
+    tracer = getattr(session, "tracer", None)
+    if tracer is None:
+        return nullcontext()
+    return tracer.span(name, **attrs)
+
+
+def _session_count(session, name: str, value: float = 1.0) -> None:
+    tracer = getattr(session, "tracer", None)
+    if tracer is not None:
+        tracer.count(name, value)
 
 
 class HistoryStreamer(SessionCallback):
@@ -52,12 +71,15 @@ class HistoryStreamer(SessionCallback):
             stream.write(line)
 
     def on_round_end(self, session, event: RoundEnd) -> None:
-        self._emit_line({"event": "round", "record": event.record.to_json()})
+        with _session_span(session, "history_write", round=event.round_index):
+            self._emit_line({"event": "round",
+                             "record": event.record.to_json()})
 
     def on_personalize_done(self, session, event: PersonalizeDone) -> None:
-        self._emit_line({"event": "result",
-                         "algorithm": event.result.algorithm,
-                         "summary": event.result.summary()})
+        with _session_span(session, "history_write"):
+            self._emit_line({"event": "result",
+                             "algorithm": event.result.algorithm,
+                             "summary": event.result.summary()})
 
 
 class EvalCadence(SessionCallback):
@@ -79,7 +101,9 @@ class EvalCadence(SessionCallback):
 
     def on_round_end(self, session, event: RoundEnd) -> None:
         if (event.round_index + 1) % self.every == 0:
-            self.history.append((event.round_index, self.evaluate(session)))
+            with _session_span(session, "eval", round=event.round_index):
+                self.history.append((event.round_index,
+                                     self.evaluate(session)))
 
 
 class EarlyStopping(SessionCallback):
@@ -181,10 +205,14 @@ class RoundCheckpointer(SessionCallback):
     def on_round_end(self, session, event: RoundEnd) -> None:
         if (event.round_index + 1) % self.every != 0:
             return
-        state = session.capture_state()
-        if self.keep_last is not None:
-            write_checkpoint(state, self._numbered_path(event.round_index))
-            for stale in self.retained()[:-self.keep_last]:
-                stale.unlink()
-        write_checkpoint(state, self.path)
+        with _session_span(session, "checkpoint", round=event.round_index):
+            state = session.capture_state()
+            if self.keep_last is not None:
+                write_checkpoint(state, self._numbered_path(event.round_index))
+                for stale in self.retained()[:-self.keep_last]:
+                    stale.unlink()
+            written = write_checkpoint(state, self.path)
+            _session_count(session, "checkpoint.bytes",
+                           written.stat().st_size)
+            _session_count(session, "checkpoint.writes")
         self.writes += 1

@@ -28,6 +28,7 @@ import functools
 import hashlib
 import json
 import warnings
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
@@ -35,6 +36,7 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from ...nn.serialize import StateDict, clone_state
+from ...telemetry import InstrumentedTask, TaskOutcome, Tracer, current_tracer
 from ..algorithm import ClientUpdate, FederatedAlgorithm
 from ..client import ClientData
 from ..config import FederatedConfig
@@ -97,6 +99,22 @@ def _personalize_task(algorithm: FederatedAlgorithm, global_state: StateDict,
     return _ClientOutcome(client.client_id, result, client.store)
 
 
+def _client_span_attrs(round_index: int, client: ClientData) -> Dict:
+    """Span attrs for one client-update task (module-level: picklable)."""
+    return {"round": round_index, "client_id": int(client.client_id)}
+
+
+def _cohort_span_attrs(round_index: int,
+                       clients: Sequence[ClientData]) -> Dict:
+    """Span attrs for one cohort-update task (module-level: picklable)."""
+    return {"round": round_index, "cohort_size": len(clients)}
+
+
+def _personalize_span_attrs(client: ClientData) -> Dict:
+    """Span attrs for one personalize task (module-level: picklable)."""
+    return {"client_id": int(client.client_id)}
+
+
 # FederatedConfig knobs that change wall-clock, never results (see
 # :mod:`repro.fl.execution`) — excluded from the context fingerprint so a
 # checkpoint taken under one backend restores under any other.
@@ -141,9 +159,15 @@ class TrainingSession:
         callbacks: Sequence[SessionCallback] = (),
         context: Optional[str] = None,
         verbose: bool = False,
+        tracer: Optional[Tracer] = None,
     ):
         if not clients:
             raise ValueError("need at least one client")
+        # Telemetry is observation-only: spans and counters go to the
+        # tracer (explicit, or the ambient one active at construction);
+        # with no tracer every instrumentation point is a no-op and the
+        # round loop runs exactly the un-instrumented code path.
+        self.tracer = tracer if tracer is not None else current_tracer()
         self.algorithm = algorithm
         self.clients = list(clients)
         self.novel_clients = list(novel_clients)
@@ -227,6 +251,33 @@ class TrainingSession:
             getattr(callback, hook)(self, event)
 
     # ------------------------------------------------------------------
+    # Telemetry plumbing
+    # ------------------------------------------------------------------
+    def _span(self, name: str, **attrs):
+        """A tracer span, or a no-op context when telemetry is off."""
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(name, **attrs)
+
+    def _count(self, name: str, value: float = 1.0) -> None:
+        if self.tracer is not None:
+            self.tracer.count(name, value)
+
+    def _instrument(self, task, span_name: str, describe):
+        """Wrap a backend task so workers record spans shipped back with
+        their results (no-op passthrough when telemetry is off)."""
+        if self.tracer is None:
+            return task
+        return InstrumentedTask(task, span_name, describe=describe)
+
+    def _unbox(self, outcome):
+        """Merge a worker fragment (if any) and return the task's result."""
+        if isinstance(outcome, TaskOutcome):
+            self.tracer.merge_fragment(outcome.telemetry)
+            return outcome.result
+        return outcome
+
+    # ------------------------------------------------------------------
     # The round loop
     # ------------------------------------------------------------------
     def initialize(self) -> None:
@@ -239,7 +290,12 @@ class TrainingSession:
         """Advance exactly one communication round and commit it."""
         self.initialize()
         round_index = self._state.round_index
-        participants = self.sampler.sample(self.clients, round_index)
+        with self._span("round", round=round_index):
+            return self._step_inner(round_index)
+
+    def _step_inner(self, round_index: int) -> RoundRecord:
+        with self._span("sample", round=round_index):
+            participants = self.sampler.sample(self.clients, round_index)
         self._emit(RoundBegin(
             round_index=round_index,
             participant_ids=tuple(client.client_id for client in participants),
@@ -249,45 +305,63 @@ class TrainingSession:
         )
         cohorts = self._plan_cohorts(participants)
         if cohorts is None:
-            task = functools.partial(
-                _local_update_task, self.algorithm, self._state.global_state,
-                round_index,
+            task = self._instrument(
+                functools.partial(
+                    _local_update_task, self.algorithm,
+                    self._state.global_state, round_index,
+                ),
+                "client_update",
+                functools.partial(_client_span_attrs, round_index),
             )
             # Stream completed updates: stores reattach and the aggregator
             # ingests each update the moment its client finishes, while other
             # clients are still running.
-            for index, outcome in self.backend.imap_clients(task, participants):
-                participants[index].store = outcome.store
-                aggregator.add(index, outcome.result)
-                self._emit(ClientUpdateDone(
-                    round_index=round_index,
-                    client_id=outcome.client_id,
-                    update=outcome.result,
-                ))
+            with self._span("dispatch", round=round_index,
+                            participants=len(participants)):
+                for index, boxed in self.backend.imap_clients(task,
+                                                              participants):
+                    outcome = self._unbox(boxed)
+                    participants[index].store = outcome.store
+                    aggregator.add(index, outcome.result)
+                    self._emit(ClientUpdateDone(
+                        round_index=round_index,
+                        client_id=outcome.client_id,
+                        update=outcome.result,
+                    ))
         else:
             # Cohort dispatch: homogeneous clients travel together so the
             # algorithm's vectorized engine (if any) can batch them.  The
             # aggregator is still fed at *original* sample positions, so
             # aggregation order — and therefore results — match the
             # per-client path bitwise.
-            cohort_task = functools.partial(
-                _cohort_update_task, self.algorithm, self._state.global_state,
-                round_index,
+            cohort_task = self._instrument(
+                functools.partial(
+                    _cohort_update_task, self.algorithm,
+                    self._state.global_state, round_index,
+                ),
+                "cohort_update",
+                functools.partial(_cohort_span_attrs, round_index),
             )
             groups = [[participants[position] for position in positions]
                       for positions in cohorts]
-            for group_index, outcomes in self.backend.imap_cohorts(
-                    cohort_task, groups):
-                for position, outcome in zip(cohorts[group_index], outcomes):
-                    participants[position].store = outcome.store
-                    aggregator.add(position, outcome.result)
-                    self._emit(ClientUpdateDone(
-                        round_index=round_index,
-                        client_id=outcome.client_id,
-                        update=outcome.result,
-                    ))
-        new_global = aggregator.finalize()
-        updates: List[ClientUpdate] = list(aggregator.updates_in_order())
+            with self._span("dispatch", round=round_index,
+                            participants=len(participants),
+                            cohorts=len(groups)):
+                for group_index, boxed in self.backend.imap_cohorts(
+                        cohort_task, groups):
+                    outcomes = self._unbox(boxed)
+                    for position, outcome in zip(cohorts[group_index],
+                                                 outcomes):
+                        participants[position].store = outcome.store
+                        aggregator.add(position, outcome.result)
+                        self._emit(ClientUpdateDone(
+                            round_index=round_index,
+                            client_id=outcome.client_id,
+                            update=outcome.result,
+                        ))
+        with self._span("aggregate", round=round_index):
+            new_global = aggregator.finalize()
+            updates: List[ClientUpdate] = list(aggregator.updates_in_order())
         self._emit(AggregateDone(round_index=round_index,
                                  num_updates=len(updates)))
         # Non-finite client losses (divergence, dead activations) are
@@ -303,6 +377,8 @@ class TrainingSession:
                 losses.append(float(value))
             else:
                 non_finite += 1
+        if non_finite:
+            self._count("round.non_finite_losses", non_finite)
         if non_finite and not self._warned_non_finite:
             self._warned_non_finite = True
             warnings.warn(
@@ -381,11 +457,17 @@ class TrainingSession:
         """Run the personalization stage on every client (train + novel)."""
         if self._state.global_state is None:
             raise RuntimeError("train() must run before personalization")
-        task = functools.partial(
-            _personalize_task, self.algorithm, self._state.global_state
+        task = self._instrument(
+            functools.partial(
+                _personalize_task, self.algorithm, self._state.global_state
+            ),
+            "client_personalize",
+            _personalize_span_attrs,
         )
         everyone = self.clients + self.novel_clients
-        outcomes = self.backend.map_clients(task, everyone)
+        with self._span("personalize", clients=len(everyone)):
+            outcomes = [self._unbox(boxed)
+                        for boxed in self.backend.map_clients(task, everyone)]
         for client, outcome in zip(everyone, outcomes):
             client.store = outcome.store
         accuracies: Dict[int, float] = {}
@@ -405,8 +487,9 @@ class TrainingSession:
     def execute(self) -> RunResult:
         """Full experiment: (remaining) training rounds, then personalization."""
         try:
-            self.run()
-            return self.personalize()
+            with self._span("session", algorithm=self.algorithm.name):
+                self.run()
+                return self.personalize()
         finally:
             if self._owns_backend:
                 self.close()

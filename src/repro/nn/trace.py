@@ -41,6 +41,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from .tensor import Tensor, as_tensor
 
 __all__ = [
@@ -531,6 +532,8 @@ class BatchedReplay:
         ``(K, *shape)`` arrays read (not written) by ``bn_update`` entries.
         """
         k = self.num_clients
+        telemetry.count("trace.replays")
+        telemetry.count("trace.replay_clients", k)
         env: Dict[int, Tensor] = {}
         for name, (tid, shape, dtype) in self.trace.inputs.items():
             array = inputs[name]

@@ -22,13 +22,14 @@ anyway (it is excluded from the cell fingerprint).
 from __future__ import annotations
 
 import shutil
-import time
+from contextlib import nullcontext as _no_activation
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
 from ..eval.harness import run_experiment
 from ..fl.execution import resolve_backend
+from ..telemetry import Tracer, sidecar_lines
 from .serialize import RECORD_SCHEMA
 from .spec import RunKey, SweepSpec
 from .store import RunStore
@@ -113,6 +114,7 @@ class _CellTask:
     verbose: bool = False
     round_checkpoints: bool = False
     checkpoint_every: int = 1
+    telemetry: bool = True
     executor: Callable[..., Dict] = execute_cell
 
     def __call__(self, key: RunKey) -> Dict:
@@ -121,25 +123,40 @@ class _CellTask:
         if self.round_checkpoints and self.store_root is not None:
             checkpoint_dir = cell_checkpoint_dir(self.store_root, key)
             resumed_mid_cell = any(checkpoint_dir.glob("*.json"))
-        # repro: allow[DET002] -- wall-clock timing lands in the timing index only, never in hashed records
-        started = time.perf_counter()
-        record = self.executor(key, client_backend=self.client_backend,
-                               client_batch=self.client_batch,
-                               verbose=self.verbose,
-                               checkpoint_dir=checkpoint_dir,
-                               checkpoint_every=self.checkpoint_every)
-        # repro: allow[DET002] -- wall-clock timing lands in the timing index only, never in hashed records
-        elapsed = time.perf_counter() - started
+        # The cell's wall clock is the "cell" span's duration: the tracer
+        # owns the monotonic-clock reads (repro.telemetry sits outside the
+        # DET002 scope by design), and the numbers land in the timing
+        # index and the telemetry sidecar only — never in hashed records.
+        tracer = Tracer()
+        with tracer.activate() if self.telemetry else _no_activation(), \
+                tracer.span("cell", fingerprint=key.fingerprint,
+                            method=key.method, dataset=key.dataset,
+                            seed=key.seed) as cell_span:
+            record = self.executor(key, client_backend=self.client_backend,
+                                   client_batch=self.client_batch,
+                                   verbose=self.verbose,
+                                   checkpoint_dir=checkpoint_dir,
+                                   checkpoint_every=self.checkpoint_every)
+        elapsed = cell_span.duration
         if self.store_root is not None:
             # A cell resumed from a mid-run checkpoint only recomputed its
             # remaining rounds; recording that partial elapsed as the
-            # cell's wall clock would understate it, so record none.
-            timing = None
-            if not resumed_mid_cell:
+            # cell's wall clock would understate it, so mark it "resumed"
+            # instead of recording misleading numbers.
+            if resumed_mid_cell:
+                timing = {"resumed": True}
+            else:
                 rounds = len(record["result"].get("rounds", []))
                 timing = {"wall_clock_s": elapsed,
                           "mean_round_s": elapsed / rounds if rounds else None}
-            RunStore(self.store_root).write_record(record, timing=timing)
+            store = RunStore(self.store_root)
+            store.write_record(record, timing=timing)
+            if self.telemetry:
+                store.write_telemetry(key, sidecar_lines(tracer, meta={
+                    "fingerprint": key.fingerprint,
+                    "label": key.label(),
+                    "resumed": resumed_mid_cell,
+                }))
             if checkpoint_dir is not None:
                 # The authoritative cell record exists now; the mid-run
                 # checkpoint is stale and must not shadow future reruns.
@@ -185,6 +202,7 @@ def run_sweep(sweep: SweepSpec,
               round_checkpoints: bool = False,
               checkpoint_every: int = 1,
               executor: Optional[Callable[..., Dict]] = None,
+              telemetry: bool = True,
               verbose: bool = False) -> SweepSummary:
     """Run every pending cell of ``sweep``, resuming from ``store``.
 
@@ -209,6 +227,13 @@ def run_sweep(sweep: SweepSpec,
     are identical with the flag on or off.  ``checkpoint_every`` thins
     the writes (checkpoint after every k-th round) when per-round
     serialization costs more than k rounds of recompute are worth.
+
+    ``telemetry`` (default on; requires a store to persist anything)
+    makes every executed cell write a ``telemetry/<fingerprint>.jsonl``
+    span/counter sidecar next to its record.  Sidecars are diagnostics
+    living outside the hashed records — store bytes are identical with
+    the flag on or off (the TEL001 invariant) — so the only reason to
+    turn it off is the (small) tracing overhead itself.
 
     ``executor`` swaps the per-cell execution function (default:
     :func:`execute_cell`, a plain training run).  It must be a
@@ -257,6 +282,7 @@ def run_sweep(sweep: SweepSpec,
                      verbose=verbose,
                      round_checkpoints=round_checkpoints,
                      checkpoint_every=checkpoint_every,
+                     telemetry=telemetry,
                      executor=executor if executor is not None else execute_cell)
     try:
         new_records = engine.map_clients(task, pending)

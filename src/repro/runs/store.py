@@ -3,9 +3,10 @@
 Directory layout (everything human-readable)::
 
     <runs-dir>/
-        cells/<fingerprint>.json   # authoritative: one record per finished cell
-        index.jsonl                # append-only log: one line per write
-        sweeps/<name>.json         # provenance: the sweep grids that ran here
+        cells/<fingerprint>.json       # authoritative: one record per finished cell
+        index.jsonl                    # append-only log: one line per write
+        sweeps/<name>.json             # provenance: the sweep grids that ran here
+        telemetry/<fingerprint>.jsonl  # diagnostic sidecar: spans + counters
 
 The ``cells/`` files are the source of truth — a cell is complete iff its
 file exists.  Records are written with write-then-``os.replace`` so a
@@ -28,7 +29,7 @@ from ..ioutil import safe_filename
 from .serialize import atomic_write_text, encode_record
 from .spec import RunKey, SweepSpec
 
-__all__ = ["RunStore", "TIMING_FIELDS"]
+__all__ = ["RunStore", "TIMING_FIELDS", "RESUMED_FIELD"]
 
 
 def _fingerprint_of(key: Union[str, RunKey]) -> str:
@@ -42,7 +43,14 @@ Timings are *diagnostics*, not results: cell records stay byte-identical
 across schedulers and hosts, so wall-clock lives only in the index.
 ``wall_clock_s`` is the cell's end-to-end execution time (training +
 personalization); ``mean_round_s`` is that total divided by the round
-count."""
+count.
+
+A cell finished from a mid-cell checkpoint carries ``"resumed": true``
+instead of numbers — its wall clock covers only the resumed tail, which
+would poison timing comparisons — so ``repro report --timings`` can tell
+"resumed" apart from "never measured"."""
+
+RESUMED_FIELD = "resumed"
 
 
 def _index_entry(record: Dict, timing: Optional[Dict] = None) -> Dict:
@@ -59,6 +67,8 @@ def _index_entry(record: Dict, timing: Optional[Dict] = None) -> Dict:
     if timing:
         entry.update({name: timing[name] for name in TIMING_FIELDS
                       if timing.get(name) is not None})
+        if timing.get(RESUMED_FIELD):
+            entry[RESUMED_FIELD] = True
     return entry
 
 
@@ -155,13 +165,14 @@ class RunStore:
                 + "; ".join(absent[:5]) + ("; ..." if len(absent) > 5 else ""))
         return records
 
-    def timings(self) -> Dict[str, Dict[str, float]]:
+    def timings(self) -> Dict[str, Dict]:
         """Per-cell wall-clock from ``index.jsonl``: fingerprint → timing.
 
         Last write wins (a cell re-executed after store surgery keeps its
         most recent timing).  Cells indexed before timing existed — or
         re-indexed by :meth:`rebuild_index` without a prior timing — are
-        absent from the result.
+        absent from the result.  A resumed cell's timing is the marker
+        ``{"resumed": True}`` (no comparable numbers exist for it).
         """
         timings: Dict[str, Dict[str, float]] = {}
         if not self.index_path.is_file():
@@ -177,6 +188,8 @@ class RunStore:
                     continue  # torn concurrent append; the index is a cache
                 timing = {name: float(entry[name]) for name in TIMING_FIELDS
                           if entry.get(name) is not None}
+                if entry.get(RESUMED_FIELD):
+                    timing[RESUMED_FIELD] = True
                 if timing:
                     timings[entry["fingerprint"]] = timing
         return timings
@@ -198,6 +211,24 @@ class RunStore:
                  for fingerprint in fingerprints]
         atomic_write_text(self.index_path, "".join(line + "\n" for line in lines))
         return len(fingerprints)
+
+    # ------------------------------------------------------------------
+    @property
+    def telemetry_dir(self) -> Path:
+        return self.root / "telemetry"
+
+    def telemetry_path_for(self, key: Union[str, RunKey]) -> Path:
+        return self.telemetry_dir / f"{_fingerprint_of(key)}.jsonl"
+
+    def write_telemetry(self, key: Union[str, RunKey], text: str) -> Path:
+        """Atomically persist one cell's ``telemetry.jsonl`` sidecar.
+
+        Sidecars are pure diagnostics: they live beside — never inside —
+        the hashed cell records (the TEL001 invariant), so writing one
+        cannot perturb fingerprints, resume decisions, or report output.
+        """
+        self.telemetry_dir.mkdir(parents=True, exist_ok=True)
+        return atomic_write_text(self.telemetry_path_for(key), text)
 
     # ------------------------------------------------------------------
     def write_sweep(self, sweep: SweepSpec) -> Path:

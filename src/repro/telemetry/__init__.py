@@ -1,0 +1,50 @@
+"""repro.telemetry — span tracing, counters, and trace/profile exports.
+
+Stdlib-only (numpy-free, like :mod:`repro.analysis`), observation-only:
+telemetry never feeds results, records, or fingerprints.  See
+``docs/observability.md`` for the span taxonomy and counter catalogue.
+"""
+
+from .export import (
+    TELEMETRY_SCHEMA,
+    CellTelemetry,
+    chrome_trace,
+    chrome_trace_from_cells,
+    iter_counter_totals,
+    parse_sidecar,
+    sidecar_lines,
+    validate_chrome_trace,
+)
+from .profile import load_store_telemetry, profile_cell, render_profile
+from .spans import (
+    InstrumentedTask,
+    Span,
+    TaskOutcome,
+    TelemetryFragment,
+    Tracer,
+    count,
+    current_tracer,
+    gauge,
+)
+
+__all__ = [
+    "TELEMETRY_SCHEMA",
+    "CellTelemetry",
+    "InstrumentedTask",
+    "Span",
+    "TaskOutcome",
+    "TelemetryFragment",
+    "Tracer",
+    "chrome_trace",
+    "chrome_trace_from_cells",
+    "count",
+    "current_tracer",
+    "gauge",
+    "iter_counter_totals",
+    "load_store_telemetry",
+    "parse_sidecar",
+    "profile_cell",
+    "render_profile",
+    "sidecar_lines",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,46 @@
+"""Fixture corpus for TEL001 (telemetry stays off the record surface)."""
+
+from .helpers import rule_diagnostics, rule_ids
+
+
+class TestTel001RecordSurface:
+    def test_flags_absolute_import_in_store(self):
+        found = rule_diagnostics("TEL001", "src/repro/runs/store.py", (
+            "from repro.telemetry import sidecar_lines\n"
+        ))
+        assert rule_ids(found) == ["TEL001"]
+        assert "hashed-record surface" in found[0].message
+
+    def test_flags_relative_import_in_serialize(self):
+        found = rule_diagnostics("TEL001", "src/repro/runs/serialize.py", (
+            "from ..telemetry import Tracer\n"
+        ))
+        assert rule_ids(found) == ["TEL001"]
+
+    def test_flags_module_import_in_history(self):
+        found = rule_diagnostics("TEL001", "src/repro/fl/history.py", (
+            "import repro.telemetry\n"
+        ))
+        assert rule_ids(found) == ["TEL001"]
+
+    def test_flags_submodule_import_in_codec(self):
+        found = rule_diagnostics(
+            "TEL001", "src/repro/fl/session/codec.py",
+            "from repro.telemetry.spans import Tracer\n")
+        assert rule_ids(found) == ["TEL001"]
+
+    def test_near_miss_other_imports_in_store(self):
+        found = rule_diagnostics("TEL001", "src/repro/runs/store.py", (
+            "import json\n"
+            "from ..ioutil import atomic_write_text\n"
+            "from .spec import RunKey\n"
+        ))
+        assert found == []
+
+    def test_near_miss_telemetry_import_outside_the_surface(self):
+        # The scheduler *is* allowed to trace — only record producers are
+        # banned.
+        found = rule_diagnostics("TEL001", "src/repro/runs/scheduler.py", (
+            "from ..telemetry import Tracer, sidecar_lines\n"
+        ))
+        assert found == []

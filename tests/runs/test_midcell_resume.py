@@ -85,8 +85,13 @@ class TestMidCellResume:
             RunStore(reference).path_for(key).read_bytes()
         assert not checkpoints.exists()
         # A resumed cell's elapsed covers only the recomputed rounds, so
-        # no (misleading) timing is recorded for it.
-        assert key.fingerprint not in store.timings()
+        # instead of (misleading) numbers its index entry carries an
+        # explicit marker — distinguishing "resumed" from "never timed".
+        timing = store.timings()[key.fingerprint]
+        assert timing == {"resumed": True}
+        # The marker survives an index rebuild like any other timing.
+        store.rebuild_index()
+        assert store.timings()[key.fingerprint] == {"resumed": True}
 
     def test_round_checkpoints_leave_store_bytes_unchanged(self, tmp_path):
         sweep = tiny_sweep(methods=("script-fair", "fedavg"))
