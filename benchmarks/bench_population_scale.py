@@ -1,0 +1,79 @@
+"""Population-plane scale benchmarks (pytest-benchmark).
+
+Two calibrated timings guard the virtual-population plane's performance
+(see docs/population.md):
+
+* ``test_population_realization_throughput`` — descriptor-to-client
+  realization with LRU churn: 10 rounds of 20 sampled clients from a
+  100,000-client population under a 32-client residency budget.  A
+  regression here means sampled-client realization stopped being
+  O(active) work.
+* ``test_population_churned_round_loop`` — the full round loop over a
+  virtual population with availability churn, dropout, and buffered
+  aggregation enabled — the worst-case population-plane code path.
+
+Both are wired into the CI ``bench-timings`` job next to the substrate
+benchmarks, so their normalized ratios land in
+``benchmarks/bench_history.jsonl`` and regress against the ceilings in
+``benchmarks/benchmark_thresholds.json``.
+"""
+
+from repro.data.synthetic import SyntheticImageDataset
+from repro.eval.harness import make_encoder_factory
+from repro.eval.registry import build_method
+from repro.fl import (AvailabilitySpec, FederatedConfig, RandomSampler,
+                      TrainingSession, VirtualPopulation)
+
+
+def make_dataset() -> SyntheticImageDataset:
+    return SyntheticImageDataset(num_classes=4, train_per_class=80,
+                                 test_per_class=10, seed=3)
+
+
+def realize_rounds(dataset, *, population_size=100_000, rounds=10,
+                   per_round=20, max_resident=32) -> int:
+    population = VirtualPopulation(dataset, num_clients=population_size,
+                                   samples_per_client=12, seed=5,
+                                   max_resident=max_resident)
+    sampler = RandomSampler(per_round, seed=5)
+    for round_index in range(rounds):
+        ids = sampler.sample_ids(population.client_ids, round_index)
+        population.realize_round(ids)
+        population.end_round()
+    realized = population.realized_total
+    population.close()
+    return realized
+
+
+def run_churned_loop(dataset, *, rounds=2) -> float:
+    config = FederatedConfig(
+        num_clients=200, clients_per_round=8, rounds=rounds,
+        local_epochs=1, batch_size=8, personalization_epochs=1, seed=5,
+        availability=AvailabilitySpec(availability=0.6, churn=0.4,
+                                      dropout=0.15, speed_spread=0.3),
+        aggregation="buffered", aggregation_buffer=4)
+    factory = make_encoder_factory("mlp", dataset, hidden_dims=(16, 8),
+                                   seed=7)
+    algorithm = build_method("fedavg", config, dataset.num_classes, factory)
+    population = VirtualPopulation(dataset, num_clients=200,
+                                   samples_per_client=12, seed=5,
+                                   max_resident=16)
+    session = TrainingSession(algorithm, population, config)
+    session.run()
+    loss = session.round_records[-1].mean_loss
+    population.close()
+    return loss
+
+
+def test_population_realization_throughput(benchmark):
+    dataset = make_dataset()
+    realized = benchmark.pedantic(
+        lambda: realize_rounds(dataset), rounds=1, iterations=1)
+    assert realized <= 200  # 10 rounds x 20, minus cache hits
+
+
+def test_population_churned_round_loop(benchmark):
+    dataset = make_dataset()
+    loss = benchmark.pedantic(
+        lambda: run_churned_loop(dataset), rounds=1, iterations=1)
+    assert loss == loss  # finite, not NaN

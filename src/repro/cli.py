@@ -78,6 +78,7 @@ from .experiments import (
     scaled_spec,
 )
 from .experiments.settings import SCALED_CONFIG
+from .fl.config import AGGREGATION_POLICIES, AvailabilitySpec
 from .fl.execution import available_backends
 from .ioutil import atomic_write_text
 from .runs import RunStore, outcome_from_records, run_sweep, save_outcome
@@ -93,6 +94,103 @@ __all__ = ["main", "build_parser"]
 
 SWEEP_EXPERIMENTS = ("table1", "fig3", "fig4") + EMBEDDING_FIGURES
 FIGURE_CHOICES = tuple(sorted(EMBEDDING_FIGURES + ("fig3", "fig4")))
+
+
+def _add_population_arguments(parser: argparse.ArgumentParser) -> None:
+    """Population-plane knobs (availability churn + async aggregation).
+
+    Shared by ``run`` and the sweep-grid commands; all of them are
+    *semantic* (they change results and therefore cell hashes), and all
+    default to off so existing command lines reproduce existing bytes.
+    """
+    parser.add_argument("--availability", type=float, default=None,
+                        metavar="FRAC",
+                        help="stationary fraction of clients online per "
+                             "round (changes results/cell hashes; "
+                             "default: everyone, always)")
+    parser.add_argument("--churn", type=float, default=None, metavar="RATE",
+                        help="membership flip intensity in [0, 1]: 1 redraws "
+                             "who is online every round, values toward 0 "
+                             "make membership sticky (only meaningful with "
+                             "--availability < 1)")
+    parser.add_argument("--dropout", type=float, default=None, metavar="PROB",
+                        help="probability a sampled client drops mid-round "
+                             "before its update lands (changes results)")
+    parser.add_argument("--speed-spread", type=float, default=None,
+                        metavar="SIGMA",
+                        help="lognormal sigma of per-client speed "
+                             "multipliers; orders simulated completions "
+                             "under async aggregation")
+    parser.add_argument("--aggregation", default="sync",
+                        choices=list(AGGREGATION_POLICIES),
+                        help="server aggregation policy: 'sync' (default, "
+                             "the bitwise-deterministic contract), "
+                             "'buffered' (FedBuff-style flushes), or "
+                             "'staleness' (per-update staleness weighting)")
+    parser.add_argument("--aggregation-buffer", type=int, default=None,
+                        metavar="K",
+                        help="buffer size for --aggregation buffered "
+                             "(default: 10)")
+    parser.add_argument("--staleness-decay", type=float, default=None,
+                        metavar="D",
+                        help="staleness down-weighting exponent for the "
+                             "async policies (default: 0.5)")
+
+
+def _population_overrides(args) -> dict:
+    """``FederatedConfig`` overrides from the population-plane flags.
+
+    Empty when every flag is at its default, so the resulting config —
+    and every fingerprint derived from it — is byte-identical to a
+    pre-population command line.
+    """
+    overrides = {}
+    if (args.availability is not None or args.churn is not None
+            or args.dropout is not None or args.speed_spread is not None):
+        try:
+            overrides["availability"] = AvailabilitySpec(
+                availability=(1.0 if args.availability is None
+                              else args.availability),
+                churn=1.0 if args.churn is None else args.churn,
+                dropout=0.0 if args.dropout is None else args.dropout,
+                speed_spread=(0.0 if args.speed_spread is None
+                              else args.speed_spread),
+            )
+        except ValueError as error:
+            raise SystemExit(f"availability flags: {error}") from error
+    if args.aggregation != "sync":
+        overrides["aggregation"] = args.aggregation
+    if args.aggregation_buffer is not None:
+        if args.aggregation_buffer < 1:
+            raise SystemExit(f"--aggregation-buffer must be >= 1, "
+                             f"got {args.aggregation_buffer}")
+        overrides["aggregation_buffer"] = args.aggregation_buffer
+    if args.staleness_decay is not None:
+        if args.staleness_decay < 0:
+            raise SystemExit(f"--staleness-decay must be >= 0, "
+                             f"got {args.staleness_decay}")
+        overrides["staleness_decay"] = args.staleness_decay
+    return overrides
+
+
+def _population_flags(args) -> List[str]:
+    """Echo the population-plane flags (for ``repro report`` hints)."""
+    parts = []
+    if args.availability is not None:
+        parts.append(f"--availability {args.availability}")
+    if args.churn is not None:
+        parts.append(f"--churn {args.churn}")
+    if args.dropout is not None:
+        parts.append(f"--dropout {args.dropout}")
+    if args.speed_spread is not None:
+        parts.append(f"--speed-spread {args.speed_spread}")
+    if args.aggregation != "sync":
+        parts.append(f"--aggregation {args.aggregation}")
+    if args.aggregation_buffer is not None:
+        parts.append(f"--aggregation-buffer {args.aggregation_buffer}")
+    if args.staleness_decay is not None:
+        parts.append(f"--staleness-decay {args.staleness_decay}")
+    return parts
 
 
 def _add_sweep_grid_arguments(parser: argparse.ArgumentParser,
@@ -137,6 +235,7 @@ def _add_sweep_grid_arguments(parser: argparse.ArgumentParser,
     parser.add_argument("--tsne-iterations", type=int, default=None,
                         help="t-SNE gradient steps "
                              "(changes cell hashes; embedding grids only)")
+    _add_population_arguments(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -214,6 +313,7 @@ def build_parser() -> argparse.ArgumentParser:
                                  "and write it as Chrome trace-event JSON "
                                  "(open in Perfetto or chrome://tracing); "
                                  "results are identical with or without it")
+    _add_population_arguments(run_parser)
 
     fig3_parser = sub.add_parser("fig3", help="regenerate one Fig. 3 panel")
     fig3_parser.add_argument("--panel", type=int, default=0,
@@ -378,6 +478,7 @@ def _command_run(args) -> int:
         seed=args.seed, backend=args.backend, workers=args.workers,
         shared_memory={"auto": None, "on": True, "off": False}[args.shared_memory],
         client_batch=args.client_batch,
+        **_population_overrides(args),
     )
     spec = scaled_spec(
         args.dataset,
@@ -434,6 +535,7 @@ def _build_sweep(args, experiment: Optional[str] = None):
         overrides["num_clients"] = args.clients
         overrides["clients_per_round"] = min(SCALED_CONFIG.clients_per_round,
                                              args.clients)
+    overrides.update(_population_overrides(args))
     config = SCALED_CONFIG.with_overrides(**overrides) if overrides else None
 
     if experiment in EMBEDDING_FIGURES:
@@ -486,6 +588,7 @@ def _grid_flags(args) -> str:
         parts.append(f"--embed-samples {args.embed_samples}")
     if args.tsne_iterations is not None:
         parts.append(f"--tsne-iterations {args.tsne_iterations}")
+    parts.extend(_population_flags(args))
     return " ".join(parts)
 
 
@@ -550,11 +653,23 @@ def _print_timings(store: RunStore, cells) -> None:
     totals = []
     rows_missing = 0
     rows_resumed = 0
+    rows_churned = 0
     for key in cells:
         timing = timings.get(key.fingerprint)
         if timing is None:
             rows_missing += 1
             continue
+        # Churn-affected cells (active availability model) ran fewer or
+        # different clients per round; their wall clocks are flagged so
+        # they never read as baseline numbers.  The index marker is
+        # authoritative; the config fallback covers cells indexed before
+        # the marker existed.
+        availability = key.config.availability
+        churned = bool(timing.get("churn")) or (
+            availability is not None and availability.is_active)
+        marker = " (churn)" if churned else ""
+        if churned:
+            rows_churned += 1
         wall = timing.get("wall_clock_s")
         if wall is None:
             # A resumed cell carries the marker instead of numbers: its
@@ -562,20 +677,24 @@ def _print_timings(store: RunStore, cells) -> None:
             if timing.get("resumed"):
                 rows_resumed += 1
                 print(f"  {key.fingerprint}   (resumed)            "
-                      f"{key.label()}")
+                      f"{key.label()}{marker}")
             else:
                 rows_missing += 1
             continue
         per_round = timing.get("mean_round_s")
         totals.append(wall)
         per_round_text = f" ({per_round:8.3f}s/round)" if per_round else ""
-        print(f"  {key.fingerprint}  {wall:9.3f}s{per_round_text}  {key.label()}")
+        print(f"  {key.fingerprint}  {wall:9.3f}s{per_round_text}  "
+              f"{key.label()}{marker}")
     if totals:
         print(f"  total {sum(totals):.3f}s over {len(totals)} cells, "
               f"mean {sum(totals) / len(totals):.3f}s/cell")
     if rows_resumed:
         print(f"  ({rows_resumed} cell(s) finished from a mid-cell "
               "checkpoint: no comparable wall clock)")
+    if rows_churned:
+        print(f"  ({rows_churned} cell(s) ran under availability churn: "
+              "wall clocks cover a reduced client load)")
     if rows_missing:
         print(f"  ({rows_missing} cell(s) have no recorded timing)")
 

@@ -14,7 +14,12 @@ from .client import (
     derive_rng,
     payload_nbytes,
 )
-from .config import PAPER_CONFIG, FederatedConfig
+from .config import (
+    AGGREGATION_POLICIES,
+    PAPER_CONFIG,
+    AvailabilitySpec,
+    FederatedConfig,
+)
 from .execution import (
     BACKENDS,
     ExecutionBackend,
@@ -33,6 +38,12 @@ from .personalization import (
     evaluate_linear_head,
     train_linear_probe,
 )
+from .population import (
+    AvailabilityModel,
+    BufferedAccumulator,
+    ClientDescriptor,
+    VirtualPopulation,
+)
 from .sampler import RandomSampler, RoundRobinSampler
 from .server import FederatedServer
 from .session import (
@@ -50,6 +61,12 @@ from .session import (
 __all__ = [
     "FederatedConfig",
     "PAPER_CONFIG",
+    "AGGREGATION_POLICIES",
+    "AvailabilitySpec",
+    "AvailabilityModel",
+    "VirtualPopulation",
+    "ClientDescriptor",
+    "BufferedAccumulator",
     "ClientData",
     "build_federation",
     "build_novel_clients",

@@ -57,7 +57,11 @@ class UpdateAccumulator:
     order, never completion order: floating-point reduction is
     order-sensitive, and reordering is what keeps serial, thread, and
     process backends bitwise identical (the determinism contract of
-    :mod:`repro.fl.execution`).
+    :mod:`repro.fl.execution`).  The async aggregation policies
+    (:class:`~repro.fl.population.BufferedAccumulator`) subclass this and
+    override :meth:`finalize` with a *simulated* completion order — also a
+    pure function of the run config, never of real scheduling — so even
+    "async" runs keep the cross-backend guarantee.
     """
 
     def __init__(self, algorithm: "FederatedAlgorithm", global_state: StateDict,

@@ -106,7 +106,7 @@ def payload_nbytes(client: "ClientData", inline: bool = False) -> int:
     if inline:
         replica = copy.copy(client)
         for attr in ("train", "test", "unlabeled"):
-            split = getattr(replica, attr)
+            split = getattr(replica, attr, None)
             if split is not None and hasattr(split, "materialize"):
                 setattr(replica, attr, split.materialize())
         client = replica

@@ -138,6 +138,13 @@ class ExecutionBackend:
 
     name = "base"
 
+    uses_data_plane = False
+    """Whether payloads cross a process boundary and therefore benefit from
+    the shared-memory data plane.  Class-level so callers that manage their
+    own segments (a :class:`~repro.fl.population.VirtualPopulation` sharing
+    clients at realization time) can decide *before* any client exists —
+    ``register_clients`` only answers for clients already materialized."""
+
     def __init__(self, workers: Optional[int] = None,
                  chunk_size: Optional[int] = None, fallback: bool = True):
         self.workers = resolve_workers(workers)
@@ -315,6 +322,8 @@ class ProcessBackend(ExecutionBackend):
     """
 
     name = "process"
+
+    uses_data_plane = True
 
     def __init__(self, workers: Optional[int] = None,
                  chunk_size: Optional[int] = None, fallback: bool = True,

@@ -48,6 +48,10 @@ class ServerState:
     ``sampler_state`` is empty for the built-in samplers (their draws are
     pure functions of ``(seed, round_index)``) and carries whatever a
     stateful sampler's ``state_dict()`` returns otherwise.
+    ``availability_state`` persists the availability model's RNG cursor
+    (:meth:`~repro.fl.population.AvailabilityModel.state_dict`) so a run
+    resumed under churn replays the membership chain to the exact round —
+    empty when the run has no availability model.
 
     ``context`` is a fingerprint of the run the checkpoint belongs to
     (config minus execution knobs, federation shape — or the experiment
@@ -65,6 +69,7 @@ class ServerState:
     client_stores: Dict[int, Dict] = field(default_factory=dict)
     round_records: List[RoundRecord] = field(default_factory=list)
     sampler_state: Dict = field(default_factory=dict)
+    availability_state: Dict = field(default_factory=dict)
     warned_non_finite: bool = False
 
     # ------------------------------------------------------------------
@@ -82,6 +87,7 @@ class ServerState:
                               for client_id, store in self.client_stores.items()},
             "round_records": [record.to_json() for record in self.round_records],
             "sampler_state": encode_value(self.sampler_state),
+            "availability_state": encode_value(self.availability_state),
             "warned_non_finite": bool(self.warned_non_finite),
         }
 
@@ -106,6 +112,7 @@ class ServerState:
             round_records=[RoundRecord.from_json(record)
                            for record in payload.get("round_records", [])],
             sampler_state=decode_value(payload.get("sampler_state", {})),
+            availability_state=decode_value(payload.get("availability_state", {})),
             warned_non_finite=bool(payload.get("warned_non_finite", False)),
         )
 

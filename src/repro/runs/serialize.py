@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict
+from dataclasses import fields as dataclass_fields
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -35,6 +36,7 @@ __all__ = [
     "RECORD_SCHEMA",
     "EXECUTION_FIELDS",
     "FINGERPRINTED_FIELDS",
+    "DEFAULT_OMITTED_FIELDS",
     "SWEEP_FINGERPRINTED_FIELDS",
     "SWEEP_COSMETIC_FIELDS",
     "to_jsonable",
@@ -67,7 +69,8 @@ FINGERPRINTED_FIELDS = (
     "batch_size", "learning_rate", "momentum", "weight_decay",
     "personalization_epochs", "personalization_lr",
     "personalization_batch_size", "test_fraction", "num_novel_clients",
-    "seed",
+    "seed", "availability", "aggregation", "aggregation_buffer",
+    "staleness_decay",
 )
 """``FederatedConfig`` knobs that determine results and therefore hash into
 every :class:`~repro.runs.spec.RunKey` fingerprint.  Together with
@@ -75,10 +78,17 @@ every :class:`~repro.runs.spec.RunKey` fingerprint.  Together with
 invariant rule (``repro check``) fails the build if a new field is added
 without deciding which list it belongs to."""
 
+DEFAULT_OMITTED_FIELDS = ("availability", "aggregation",
+                          "aggregation_buffer", "staleness_decay")
+"""Fingerprinted config fields omitted from serialized payloads while at
+their defaults (the ``RunKey.extras`` precedent): the population-plane
+knobs landed after stores already existed, so a default-valued knob must
+not shift any pre-existing fingerprint or checkpoint context."""
+
 SWEEP_FINGERPRINTED_FIELDS = (
     "methods", "settings", "datasets", "seeds", "config", "variants",
-    "method_overrides", "dataset_kwargs", "encoder", "encoder_width",
-    "encoder_hidden_dims", "extras",
+    "availability", "method_overrides", "dataset_kwargs", "encoder",
+    "encoder_width", "encoder_hidden_dims", "extras",
 )
 """``SweepSpec`` fields that flow into each expanded cell's hashed payload.
 ``variants`` is fingerprinted through its *overrides*; the cosmetic variant
@@ -137,11 +147,24 @@ def setting_from_jsonable(payload: Dict) -> NonIIDSetting:
                          int(payload["samples_per_client"]))
 
 
+_OMITTED_DEFAULTS = {
+    field.name: field.default for field in dataclass_fields(FederatedConfig)
+    if field.name in DEFAULT_OMITTED_FIELDS
+}
+
+
 def config_to_jsonable(config: FederatedConfig, include_execution: bool = True) -> Dict:
     payload = to_jsonable(asdict(config))
     if not include_execution:
         for name in EXECUTION_FIELDS:
             payload.pop(name, None)
+    # Population-plane knobs serialize only when set: a default-valued
+    # knob must keep old fingerprints/checkpoint contexts byte-stable.
+    # (asdict turns a set AvailabilitySpec into a dict != None, so it
+    # survives; config_from_jsonable coerces it back.)
+    for name, default in _OMITTED_DEFAULTS.items():
+        if name in payload and payload[name] == default:
+            payload.pop(name)
     return payload
 
 

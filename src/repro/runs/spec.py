@@ -23,8 +23,10 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from dataclasses import asdict
+
 from ..eval.harness import ExperimentSpec, NonIIDSetting
-from ..fl.config import FederatedConfig
+from ..fl.config import AvailabilitySpec, FederatedConfig
 from .serialize import (
     canonical_json,
     config_from_jsonable,
@@ -162,10 +164,18 @@ class SweepSpec:
     """A declarative grid of experiment cells.
 
     The grid is the cross product ``seeds x datasets x settings x
-    variants x methods``; :meth:`cells` expands it in exactly that nested
-    order, which is the canonical ordering every report uses.  Each
-    cell's config is reseeded to the cell's seed (``config.seed`` drives
-    round sampling), so one ``SweepSpec`` covers multi-seed replication.
+    availability x variants x methods``; :meth:`cells` expands it in
+    exactly that nested order, which is the canonical ordering every
+    report uses.  Each cell's config is reseeded to the cell's seed
+    (``config.seed`` drives round sampling), so one ``SweepSpec`` covers
+    multi-seed replication.
+
+    ``availability`` is the population-plane axis: each point is ``None``
+    (no availability model — the historical grid shape) or an
+    :class:`~repro.fl.config.AvailabilitySpec` applied to the cell's
+    config.  Like every semantic knob it hashes into the cell
+    fingerprint; the default single-``None`` axis leaves all pre-existing
+    fingerprints untouched.
     """
 
     name: str
@@ -175,6 +185,7 @@ class SweepSpec:
     seeds: Sequence[int] = (0,)
     config: Optional[FederatedConfig] = None
     variants: Sequence[SweepVariant] = (SweepVariant(),)
+    availability: Sequence[Optional[AvailabilitySpec]] = (None,)
     method_overrides: Dict[str, Dict] = field(default_factory=dict)
     dataset_kwargs: Dict[str, Dict] = field(default_factory=dict)
     encoder: str = "mlp"
@@ -188,13 +199,26 @@ class SweepSpec:
         self.datasets = list(self.datasets)
         self.seeds = [int(seed) for seed in self.seeds]
         self.variants = list(self.variants)
+        if isinstance(self.availability, (AvailabilitySpec, dict)) \
+                or self.availability is None:
+            self.availability = [self.availability]
+        self.availability = [
+            AvailabilitySpec(**point) if isinstance(point, dict) else point
+            for point in self.availability
+        ]
+        for point in self.availability:
+            if point is not None and not isinstance(point, AvailabilitySpec):
+                raise ValueError(
+                    f"availability axis points must be None or "
+                    f"AvailabilitySpec, got {point!r}")
         if self.config is None:
             self.config = FederatedConfig()
         if not self.name:
             raise ValueError("sweep name must be non-empty")
         for axis, label in ((self.methods, "methods"), (self.settings, "settings"),
                             (self.datasets, "datasets"), (self.seeds, "seeds"),
-                            (self.variants, "variants")):
+                            (self.variants, "variants"),
+                            (self.availability, "availability")):
             if not axis:
                 raise ValueError(f"sweep axis '{label}' must be non-empty")
         from ..eval.registry import available_methods
@@ -211,37 +235,42 @@ class SweepSpec:
     @property
     def num_cells(self) -> int:
         return (len(self.seeds) * len(self.datasets) * len(self.settings)
-                * len(self.variants) * len(self.methods))
+                * len(self.availability) * len(self.variants)
+                * len(self.methods))
 
     def merged_overrides(self, method: str, variant: SweepVariant) -> Dict:
         return {**self.method_overrides.get(method, {}), **variant.overrides}
 
     def cells(self) -> List[RunKey]:
         """Expand the grid in canonical order (seed, dataset, setting,
-        variant, method) — the order is part of the subsystem's contract:
-        reports index into it, and it never depends on completion order."""
+        availability, variant, method) — the order is part of the
+        subsystem's contract: reports index into it, and it never depends
+        on completion order."""
         keys: List[RunKey] = []
         for seed in self.seeds:
             config = self.config.with_overrides(seed=seed)
             for dataset in self.datasets:
                 kwargs = dict(self.dataset_kwargs.get(dataset, {}))
                 for setting in self.settings:
-                    for variant in self.variants:
-                        for method in self.methods:
-                            keys.append(RunKey(
-                                dataset=dataset,
-                                setting=setting,
-                                method=method,
-                                seed=seed,
-                                config=config,
-                                variant=variant.label,
-                                overrides=self.merged_overrides(method, variant),
-                                encoder=self.encoder,
-                                encoder_width=self.encoder_width,
-                                encoder_hidden_dims=tuple(self.encoder_hidden_dims),
-                                dataset_kwargs=kwargs,
-                                extras=dict(self.extras),
-                            ))
+                    for point in self.availability:
+                        cell_config = (config if point is None else
+                                       config.with_overrides(availability=point))
+                        for variant in self.variants:
+                            for method in self.methods:
+                                keys.append(RunKey(
+                                    dataset=dataset,
+                                    setting=setting,
+                                    method=method,
+                                    seed=seed,
+                                    config=cell_config,
+                                    variant=variant.label,
+                                    overrides=self.merged_overrides(method, variant),
+                                    encoder=self.encoder,
+                                    encoder_width=self.encoder_width,
+                                    encoder_hidden_dims=tuple(self.encoder_hidden_dims),
+                                    dataset_kwargs=kwargs,
+                                    extras=dict(self.extras),
+                                ))
         return keys
 
     def cells_for(self, seed: Optional[int] = None, dataset: Optional[str] = None,
@@ -256,14 +285,17 @@ class SweepSpec:
                            name: str = "") -> ExperimentSpec:
         """Collapse a single-panel sweep back into one multi-method spec.
 
-        Only valid when the grid has exactly one dataset, setting, and
-        variant (the Fig. 3/4 shape); ``seed`` defaults to the sweep's
-        single seed and must be one of ``seeds`` otherwise.
+        Only valid when the grid has exactly one dataset, setting,
+        availability point, and variant (the Fig. 3/4 shape); ``seed``
+        defaults to the sweep's single seed and must be one of ``seeds``
+        otherwise.
         """
-        if len(self.datasets) != 1 or len(self.settings) != 1 or len(self.variants) != 1:
+        if len(self.datasets) != 1 or len(self.settings) != 1 \
+                or len(self.variants) != 1 or len(self.availability) != 1:
             raise ValueError(
                 "to_experiment_spec needs a single-panel sweep "
                 f"(got {len(self.datasets)} datasets, {len(self.settings)} settings, "
+                f"{len(self.availability)} availability points, "
                 f"{len(self.variants)} variants)")
         if seed is None:
             if len(self.seeds) != 1:
@@ -273,10 +305,13 @@ class SweepSpec:
             raise ValueError(f"seed {seed} not in sweep seeds {self.seeds}")
         variant = self.variants[0]
         dataset = self.datasets[0]
+        overrides = {"seed": seed}
+        if self.availability[0] is not None:
+            overrides["availability"] = self.availability[0]
         return ExperimentSpec(
             dataset=dataset,
             setting=self.settings[0],
-            config=self.config.with_overrides(seed=seed),
+            config=self.config.with_overrides(**overrides),
             methods=list(self.methods),
             encoder=self.encoder,
             encoder_width=self.encoder_width,
@@ -305,6 +340,11 @@ class SweepSpec:
             "encoder_hidden_dims": [int(d) for d in self.encoder_hidden_dims],
             "fingerprints": [key.fingerprint for key in self.cells()],
         }
+        if self.availability != [None]:
+            payload["availability"] = [
+                None if point is None else asdict(point)
+                for point in self.availability
+            ]
         if self.extras:
             payload["extras"] = to_jsonable(self.extras)
         return payload

@@ -29,7 +29,7 @@ from ..ioutil import safe_filename
 from .serialize import atomic_write_text, encode_record
 from .spec import RunKey, SweepSpec
 
-__all__ = ["RunStore", "TIMING_FIELDS", "RESUMED_FIELD"]
+__all__ = ["RunStore", "TIMING_FIELDS", "RESUMED_FIELD", "CHURN_FIELD"]
 
 
 def _fingerprint_of(key: Union[str, RunKey]) -> str:
@@ -52,6 +52,12 @@ would poison timing comparisons — so ``repro report --timings`` can tell
 
 RESUMED_FIELD = "resumed"
 
+CHURN_FIELD = "churn"
+"""Marker on cells executed under an active availability model
+(:mod:`repro.fl.population`).  Churned cells run fewer (and different)
+clients per round, so their wall clocks are not comparable with the full
+grid's — ``repro report --timings`` flags them the way it flags resumes."""
+
 
 def _index_entry(record: Dict, timing: Optional[Dict] = None) -> Dict:
     """The one-line ``index.jsonl`` shape (shared by append and rebuild)."""
@@ -69,6 +75,8 @@ def _index_entry(record: Dict, timing: Optional[Dict] = None) -> Dict:
                       if timing.get(name) is not None})
         if timing.get(RESUMED_FIELD):
             entry[RESUMED_FIELD] = True
+        if timing.get(CHURN_FIELD):
+            entry[CHURN_FIELD] = True
     return entry
 
 
@@ -190,6 +198,8 @@ class RunStore:
                           if entry.get(name) is not None}
                 if entry.get(RESUMED_FIELD):
                     timing[RESUMED_FIELD] = True
+                if entry.get(CHURN_FIELD):
+                    timing[CHURN_FIELD] = True
                 if timing:
                     timings[entry["fingerprint"]] = timing
         return timings
