@@ -30,7 +30,9 @@ from repro.fl import (
     available_backends,
     build_federation,
     payload_nbytes,
+    write_checkpoint,
 )
+from repro.fl.session import checkpoint_total_bytes
 from repro.ioutil import atomic_write_text
 from repro.manifold import tsne_embed
 from repro.nn import SmallConvEncoder, Tensor
@@ -232,6 +234,86 @@ def test_cohort_vectorization_throughput(benchmark, client_batch):
 
 
 # ----------------------------------------------------------------------
+# Checkpoint encode: legacy inline-JSON vs columnar manifest + .npcol
+# ----------------------------------------------------------------------
+_CHECKPOINT_STATE = None
+
+
+def checkpoint_bench_state():
+    """A trained calibre-simclr ServerState — the checkpoint bench workload.
+
+    Sized (hidden (32, 16), 4 clients, 2 rounds) so the array payload
+    dominates the round records: what :class:`RoundCheckpointer` actually
+    writes mid-run.  Cached — training it is setup, not the thing timed.
+    """
+    global _CHECKPOINT_STATE
+    if _CHECKPOINT_STATE is None:
+        dataset, partitions, _ = _round_loop_setup(4)
+        encoder_factory = make_encoder_factory("mlp", dataset,
+                                               hidden_dims=(32, 16), seed=7)
+        config = FederatedConfig(
+            num_clients=4, clients_per_round=4, rounds=2, local_epochs=1,
+            batch_size=8, personalization_epochs=2,
+            personalization_batch_size=8,
+        )
+        clients = build_federation(dataset, partitions, seed=2)
+        algorithm = build_method("calibre-simclr", config, dataset.num_classes,
+                                 encoder_factory, projection_dim=8,
+                                 hidden_dim=16)
+        session = TrainingSession(algorithm, clients, config)
+        session.run_until(2)
+        _CHECKPOINT_STATE = session.capture_state()
+        session.close()
+    return _CHECKPOINT_STATE
+
+
+def run_checkpoint_encode(tmp_dir, repeats: int = 3):
+    """Best-of-N encode timings and on-disk bytes for both formats.
+
+    Returns a metrics row; the smoke gates pin the columnar format's
+    reductions.  The byte counts are deterministic; min-of-N on the
+    timings rejects scheduler noise the same way the calibration
+    workload does.
+    """
+    import pathlib
+
+    state = checkpoint_bench_state()
+    tmp_dir = pathlib.Path(tmp_dir)
+    timings = {"json": float("inf"), "columnar": float("inf")}
+    written = {}
+    for _ in range(repeats):
+        for arrays in ("json", "columnar"):
+            # One directory per format, as RoundCheckpointer keeps one
+            # per run — the columnar sidecar sweep scans its directory's
+            # manifests, and sharing it with the legacy file would bill
+            # that file's parse to the columnar side.
+            directory = tmp_dir / arrays
+            directory.mkdir(exist_ok=True)
+            path = directory / "bench.json"
+            start = time.perf_counter()
+            written[arrays] = write_checkpoint(state, path, arrays=arrays)
+            timings[arrays] = min(timings[arrays],
+                                  time.perf_counter() - start)
+    nbytes = {arrays: checkpoint_total_bytes(path)
+              for arrays, path in written.items()}
+    return {
+        "json_bytes": nbytes["json"],
+        "columnar_bytes": nbytes["columnar"],
+        "bytes_reduction": nbytes["json"] / nbytes["columnar"],
+        "json_encode_s": timings["json"],
+        "columnar_encode_s": timings["columnar"],
+        "encode_speedup": timings["json"] / timings["columnar"],
+    }
+
+
+@pytest.mark.parametrize("arrays", ["json", "columnar"])
+def test_checkpoint_encode(benchmark, arrays, tmp_path):
+    state = checkpoint_bench_state()
+    path = tmp_path / "bench.json"
+    benchmark(lambda: write_checkpoint(state, path, arrays=arrays))
+
+
+# ----------------------------------------------------------------------
 # Script entry point (CI smoke job + manual backend comparison)
 # ----------------------------------------------------------------------
 def main(argv=None) -> int:
@@ -242,8 +324,10 @@ def main(argv=None) -> int:
                         help="tiny fixed workload; exits non-zero on any failure, "
                              "backend disagreement, a shared-memory payload "
                              "reduction below 10x, a cohort-vectorization "
-                             "speedup below 5x, or batched/per-client result "
-                             "divergence (CI guard)")
+                             "speedup below 5x, batched/per-client result "
+                             "divergence, a columnar-checkpoint byte "
+                             "reduction below 4x, or a checkpoint encode "
+                             "speedup below 5x (CI guard)")
     parser.add_argument("--rounds", type=int, default=4)
     parser.add_argument("--clients", type=int, default=8)
     parser.add_argument("--workers", type=int, default=None,
@@ -293,6 +377,19 @@ def main(argv=None) -> int:
         print(f"{row['backend']:<18}{row['workers']:>8}{row['elapsed_s']:>12.3f}"
               f"{row['rounds_per_sec']:>12.2f}{row['final_loss']:>32.4f}")
 
+    # Checkpoint encode: the columnar manifest + .npcol sidecar vs the
+    # legacy inline-JSON file, on the fixed bench state.
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        ckpt = run_checkpoint_encode(tmp)
+    print(f"\ncheckpoint encode (calibre-simclr bench state): "
+          f"{ckpt['json_bytes']} B -> {ckpt['columnar_bytes']} B "
+          f"({ckpt['bytes_reduction']:.2f}x), "
+          f"{ckpt['json_encode_s'] * 1e3:.1f} ms -> "
+          f"{ckpt['columnar_encode_s'] * 1e3:.1f} ms "
+          f"({ckpt['encode_speedup']:.2f}x)")
+
     if args.json:
         import json
 
@@ -303,6 +400,7 @@ def main(argv=None) -> int:
                        "clients": cohort_rows[0]["clients"],
                        "rounds": rounds, "speedup": speedup,
                        "rows": cohort_rows},
+            "checkpoint": ckpt,
         }
         atomic_write_text(args.json, json.dumps(payload, indent=2) + "\n")
         print(f"wrote {args.json}")
@@ -340,6 +438,25 @@ def main(argv=None) -> int:
         status = 1
     else:
         print(f"OK: cohort vectorization delivers {speedup:.1f}x rounds/sec")
+    # The all-f8 state bounds the byte ratio near 4.6x (8 raw bytes per
+    # element vs ~38 chars of indented legacy JSON), hence the 4x gate;
+    # the encode gate is the full 5x — json.dumps of float lists is the
+    # expensive half.
+    if ckpt["bytes_reduction"] < 4.0:
+        print(f"FAIL: columnar checkpoint only {ckpt['bytes_reduction']:.2f}x "
+              f"smaller than legacy JSON (gate: >= 4x)", file=sys.stderr)
+        status = 1
+    else:
+        print(f"OK: columnar checkpoint is {ckpt['bytes_reduction']:.2f}x "
+              f"smaller than legacy JSON")
+    if ckpt["encode_speedup"] < 5.0:
+        print(f"FAIL: columnar checkpoint encode only "
+              f"{ckpt['encode_speedup']:.2f}x faster than legacy JSON "
+              f"(gate: >= 5x)", file=sys.stderr)
+        status = 1
+    else:
+        print(f"OK: columnar checkpoint encodes {ckpt['encode_speedup']:.2f}x "
+              f"faster than legacy JSON")
     return status
 
 

@@ -28,11 +28,11 @@ LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 BARE_DOCS_PATTERN = re.compile(r"\bdocs/[A-Za-z0-9_.-]+(?:/[A-Za-z0-9_.-]+)*")
 
 RULE_ID_PATTERN = re.compile(
-    r"\b(?:DET|ATM|FPR|LAY|TRC|PKL|TEL|POP|SUP)\d{3}\b")
+    r"\b(?:DET|ATM|ARR|FPR|LAY|TRC|PKL|TEL|POP|SUP)\d{3}\b")
 # Rule declarations: `id = "DET001"` in rule classes, and the SUP keys of
 # SUPPRESSION_RULES (`"SUP001": ...`).
 RULE_DECL_PATTERN = re.compile(
-    r'(?:id\s*=\s*|^\s*)"((?:DET|ATM|FPR|LAY|TRC|PKL|TEL|POP|SUP)\d{3})"',
+    r'(?:id\s*=\s*|^\s*)"((?:DET|ATM|ARR|FPR|LAY|TRC|PKL|TEL|POP|SUP)\d{3})"',
     re.MULTILINE)
 
 

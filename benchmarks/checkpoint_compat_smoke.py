@@ -1,0 +1,83 @@
+"""Checkpoint format-compatibility smoke (CI guard for resume stability).
+
+A pre-columnar, schema-1 checkpoint is committed as a fixture
+(``tests/fl/data/golden_checkpoint_schema1.json``).  This smoke proves
+the current build still treats it as a first-class citizen:
+
+1. the fixture parses as a schema-1 legacy checkpoint;
+2. re-encoding the state it carries through the legacy writer reproduces
+   the fixture *byte-identically* (read -> write is lossless);
+3. the state matches a live run of the same session interrupted at the
+   same round, bitwise — so the fixture also pins the training math;
+4. resuming from the fixture, and from a columnar re-encode of it,
+   both land on the uninterrupted reference result bitwise.
+
+Exits non-zero (with a diagnostic) the moment any step diverges.
+
+Usage::
+
+    python benchmarks/checkpoint_compat_smoke.py
+"""
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from smoke_common import REPO_ROOT, fail
+
+sys.path.insert(0, str(REPO_ROOT))  # the fixture's session recipe lives in tests/
+
+from repro.fl.session import read_checkpoint, write_checkpoint  # noqa: E402
+
+from tests.fl.test_checkpoint_roundtrip import (  # noqa: E402
+    GOLDEN_CHECKPOINT,
+    golden_session,
+)
+
+
+def main() -> int:
+    if not GOLDEN_CHECKPOINT.is_file():
+        fail(f"golden checkpoint fixture missing: {GOLDEN_CHECKPOINT}")
+    fixture_bytes = GOLDEN_CHECKPOINT.read_bytes()
+    if json.loads(fixture_bytes)["schema"] != 1:
+        fail("golden fixture is not a schema-1 legacy checkpoint")
+    state = read_checkpoint(GOLDEN_CHECKPOINT)
+    print(f"OK: fixture parses (schema 1, round {state.round_index}, "
+          f"{len(fixture_bytes)} bytes)")
+
+    with tempfile.TemporaryDirectory(prefix="ckpt-compat-") as tmp:
+        reencoded = write_checkpoint(state, Path(tmp) / "reencoded.json",
+                                     arrays="json")
+        if reencoded.read_bytes() != fixture_bytes:
+            fail("legacy read -> write round trip changed the checkpoint "
+                 "bytes; the schema-1 encoding drifted")
+        print("OK: legacy read -> write round trip is byte-identical")
+
+        live = golden_session()
+        live.run_until(state.round_index)
+        if json.dumps(live.capture_state().to_json(), sort_keys=True) != \
+                json.dumps(state.to_json(), sort_keys=True):
+            fail(f"live session state at round {state.round_index} diverges "
+               "from the golden fixture; either the training math changed "
+               "(regenerate via tests/fl/data/make_golden_checkpoint.py) or "
+               "decoding corrupted the state")
+        print(f"OK: fixture matches a live run interrupted at round "
+              f"{state.round_index}, bitwise")
+
+        columnar = write_checkpoint(state, Path(tmp) / "columnar.json")
+        reference = json.dumps(golden_session().execute().to_json())
+        for label, source in (("legacy fixture", GOLDEN_CHECKPOINT),
+                              ("columnar re-encode", columnar)):
+            resumed = golden_session()
+            resumed.restore_state(read_checkpoint(source))
+            if json.dumps(resumed.execute().to_json()) != reference:
+                fail(f"resume from the {label} diverges from the "
+                     "uninterrupted reference result")
+        print("OK: legacy fixture and columnar re-encode both resume to the "
+              "reference result bitwise")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,8 @@ CLI and a real SIGKILL:
    checkpoints) — the ground-truth bytes;
 2. launch the same sweep with ``--round-checkpoints`` in a subprocess and
    SIGKILL it partway through the cell, after at least two rounds have
-   checkpointed;
+   checkpointed — whatever the kill interrupted, the surviving manifest
+   and its array sidecar must fully decode via ``read_checkpoint``;
 3. relaunch — the cell must *resume mid-cell* at the checkpointed round,
    recompute only the remaining rounds (counted from the per-round
    progress lines), and clean its checkpoint up;
@@ -32,6 +33,8 @@ import time
 from pathlib import Path
 
 from smoke_common import REPO_ROOT, cli_env, fail, run_cli
+
+from repro.fl.session import read_checkpoint
 
 ROUNDS = 60  # enough rounds that the kill always lands mid-cell
 KILL_AFTER_ROUND = 2
@@ -97,7 +100,24 @@ def main() -> int:
                  f"{ROUNDS}), found {killed_at}")
         if list((store / "cells").glob("*.json")):
             fail("killed sweep must not have persisted its cell record")
-        print(f"OK: sweep SIGKILLed mid-cell with a round-{killed_at} checkpoint")
+        # The poll above only reads round_index; the atomicity claim is
+        # stronger — whatever the SIGKILL interrupted (including a write
+        # of the *next* checkpoint), the manifest on disk plus its array
+        # sidecar must fully decode.
+        survivors = list(store.glob("checkpoints/*/fedavg.json"))
+        if len(survivors) != 1:
+            fail(f"expected exactly one surviving checkpoint manifest, "
+                 f"found {[p.name for p in survivors]}")
+        try:
+            revived = read_checkpoint(survivors[0])
+        except Exception as error:
+            fail(f"surviving checkpoint does not fully decode after the "
+                 f"SIGKILL: {error}")
+        if revived.round_index != killed_at:
+            fail(f"decoded checkpoint is at round {revived.round_index}, "
+                 f"but the poll saw round {killed_at}")
+        print(f"OK: sweep SIGKILLed mid-cell with a round-{killed_at} "
+              "checkpoint that fully decodes (manifest + sidecar)")
 
         # 3. Relaunch: resume mid-cell, recompute only the remaining rounds.
         out = run_cli("sweep", "--round-checkpoints",

@@ -5,6 +5,7 @@ Importing this package registers every rule with
 
 ``determinism``  DET — RNG discipline, wall-clock, set-iteration order
 ``atomicity``    ATM — write-then-rename persistence
+``arrays``       ARR — array persistence via the validated .npcol container
 ``fingerprint``  FPR — RunKey/config fingerprint classification
 ``layering``     LAY — declarative import-layer map
 ``tracing``      TRC — trace/replay taping restrictions
@@ -14,6 +15,7 @@ Importing this package registers every rule with
 """
 
 from . import (  # noqa: F401  (imported for registration side effect)
+    arrays,
     atomicity,
     determinism,
     fingerprint,

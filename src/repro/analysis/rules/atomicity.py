@@ -26,7 +26,8 @@ from ..imports import import_origins, resolve_call
 from ..project import Project, SourceFile
 from ..registry import Rule, register
 
-ATM_SCOPE = ("repro.runs", "repro.fl.session", "repro.ioutil", "benchmarks")
+ATM_SCOPE = ("repro.runs", "repro.fl.session", "repro.ioutil",
+             "repro.arrays", "benchmarks")
 """Modules that persist store/checkpoint state, plus the benchmark and
 smoke scripts whose JSON artifacts CI parses (a torn artifact fails the
 gate with a JSON error instead of the real signal)."""

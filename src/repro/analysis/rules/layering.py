@@ -34,6 +34,7 @@ LAYER_MAP: Dict[str, Tuple[str, ...]] = {
     "repro.ioutil": (),
     "repro.analysis": (),
     "repro.telemetry": (),
+    "repro.arrays": ("repro.ioutil",),
     "repro.nn": ("repro.telemetry",),
     "repro.viz": (),
     "repro.manifold": (),
@@ -41,7 +42,7 @@ LAYER_MAP: Dict[str, Tuple[str, ...]] = {
     "repro.data": ("repro.telemetry",),
     # Mid-stack.
     "repro.ssl": ("repro.nn",),
-    "repro.fl": ("repro.data", "repro.ioutil", "repro.nn",
+    "repro.fl": ("repro.arrays", "repro.data", "repro.ioutil", "repro.nn",
                  "repro.telemetry"),
     "repro.baselines": ("repro.data", "repro.fl", "repro.nn", "repro.ssl",
                         "repro.telemetry"),
@@ -50,7 +51,7 @@ LAYER_MAP: Dict[str, Tuple[str, ...]] = {
     # Orchestration and presentation.
     "repro.eval": ("repro.baselines", "repro.core", "repro.data", "repro.fl",
                    "repro.ioutil", "repro.nn", "repro.viz"),
-    "repro.runs": ("repro.eval", "repro.fl", "repro.ioutil",
+    "repro.runs": ("repro.arrays", "repro.eval", "repro.fl", "repro.ioutil",
                    "repro.telemetry"),
     "repro.experiments": ("repro.eval", "repro.fl", "repro.manifold",
                           "repro.runs", "repro.viz"),

@@ -782,7 +782,8 @@ def _command_report(args) -> int:
         first = False
         if args.exp in EMBEDDING_FIGURES:
             results = figure_results_from_records(
-                cells, records, methods=args.methods or None, seed=seed)
+                cells, records, methods=args.methods or None, seed=seed,
+                store=store)
             print(format_silhouette_table(
                 results, title=_report_title(f"{args.exp} silhouettes",
                                              seed, many_seeds)))
@@ -850,7 +851,8 @@ def _command_figures(args) -> int:
     records = store.load_records(cells)
     if args.figure in EMBEDDING_FIGURES:
         results = figure_results_from_records(
-            cells, records, methods=args.methods or None, seed=args.seed)
+            cells, records, methods=args.methods or None, seed=args.seed,
+            store=store)
         svg = render_figure_svg(args.figure, results)
         print(format_silhouette_table(results, title=f"{args.figure} silhouettes"))
         default_out = f"{args.figure}.svg"

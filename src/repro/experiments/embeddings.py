@@ -53,7 +53,7 @@ from ..eval.registry import build_method
 from ..fl.client import build_federation, derive_rng
 from ..fl.session import SessionCallback, TrainingSession
 from ..manifold import silhouette_score, tsne_embed
-from ..runs import RunKey, SweepSpec, execute_cell, run_sweep
+from ..runs import ARRAYS_KEY, RunKey, RunStore, SweepSpec, execute_cell, run_sweep
 from ..viz.svg import ScatterPanel, render_panels
 from .settings import CALIBRE_OVERRIDES, SCALED_CONFIG, SCALED_DATASET_KWARGS, scaled_spec
 
@@ -404,19 +404,39 @@ def execute_embedding_cell(key: RunKey, client_backend: Optional[str] = None,
                           checkpoint_every=checkpoint_every,
                           session_hook=session_hook)
     embedding = captured["embedding"]
-    record["embedding"] = _embedding_to_jsonable(embedding, embed)
+    record["embedding"] = _embedding_payload(embedding, embed)
+    record[ARRAYS_KEY] = _embedding_columns(embedding)
     if verbose:
         print(f"  {key.method:20s} tsne_sil={embedding.silhouette:.4f} "
               f"feat_sil={embedding.feature_silhouette:.4f}")
     return record
 
 
-def _embedding_to_jsonable(result: EmbeddingResult, embed: EmbedParams) -> Dict:
+_EMBEDDING_COLUMNS = ("embedding.points", "embedding.labels",
+                      "embedding.client_ids")
+
+
+def _embedding_columns(result: EmbeddingResult) -> Dict[str, np.ndarray]:
+    """The embedding's bulk arrays, as binary sidecar columns."""
+    points, labels, client_ids = _EMBEDDING_COLUMNS
+    return {
+        points: np.asarray(result.embedding, dtype=np.float64),
+        labels: np.asarray(result.labels, dtype=np.int64),
+        client_ids: np.asarray(result.client_ids, dtype=np.int64),
+    }
+
+
+def _embedding_payload(result: EmbeddingResult, embed: EmbedParams) -> Dict:
+    """The record's ``embedding`` field: scalars inline, arrays by name.
+
+    The point cloud itself lives in the cell's ``.npcol`` sidecar (see
+    :data:`~repro.runs.ARRAYS_KEY`); the record carries only the column
+    names, so cell fingerprints and record bytes are independent of the
+    binary container format.
+    """
     return {
         "params": embed.to_jsonable(),
-        "points": result.embedding.tolist(),
-        "labels": [int(label) for label in result.labels],
-        "client_ids": [int(cid) for cid in result.client_ids],
+        "arrays": list(_EMBEDDING_COLUMNS),
         "silhouette": float(result.silhouette),
         "feature_silhouette": float(result.feature_silhouette),
         "per_client_silhouette": {str(cid): float(value) for cid, value
@@ -424,23 +444,46 @@ def _embedding_to_jsonable(result: EmbeddingResult, embed: EmbedParams) -> Dict:
     }
 
 
-def embedding_from_record(record: Dict) -> EmbeddingResult:
+def embedding_from_record(record: Dict,
+                          arrays: Optional[Dict[str, np.ndarray]] = None
+                          ) -> EmbeddingResult:
     """Rebuild an :class:`EmbeddingResult` from a stored cell record.
 
-    The inverse of the serialization in :func:`execute_embedding_cell`;
-    float values round-trip exactly through JSON, so a result rebuilt
-    from the store renders byte-identical SVGs.
+    The inverse of the serialization in :func:`execute_embedding_cell`.
+    Current records name their bulk columns under ``embedding.arrays``
+    and carry the values in a ``.npcol`` sidecar — pass those columns as
+    ``arrays`` (or leave them attached in-memory under
+    :data:`~repro.runs.ARRAYS_KEY` for ephemeral runs).  Legacy records
+    with inline ``points``/``labels``/``client_ids`` JSON lists decode
+    unchanged.  Both paths rebuild bitwise-identical results — floats
+    round-trip exactly through JSON *and* through the binary container —
+    so a result rebuilt from either format renders byte-identical SVGs.
     """
     payload = record.get("embedding")
     if payload is None:
         raise KeyError(
             f"record {record.get('fingerprint')} carries no embedding — "
             "it was produced by a plain training sweep, not a figure sweep")
+    if "points" in payload:  # legacy inline-JSON embedding
+        points = payload["points"]
+        labels = payload["labels"]
+        client_ids = payload["client_ids"]
+    else:
+        if arrays is None:
+            arrays = record.get(ARRAYS_KEY)
+        if arrays is None:
+            raise KeyError(
+                f"record {record.get('fingerprint')} stores its embedding "
+                "columns in an array sidecar, but none was provided — read "
+                "it via RunStore.read_arrays or pass store= to "
+                "figure_results_from_records")
+        names = payload["arrays"]
+        points, labels, client_ids = (arrays[name] for name in names)
     return EmbeddingResult(
         method=record["key"]["method"],
-        embedding=np.asarray(payload["points"], dtype=np.float64),
-        labels=np.asarray(payload["labels"], dtype=int),
-        client_ids=np.asarray(payload["client_ids"], dtype=int),
+        embedding=np.asarray(points, dtype=np.float64),
+        labels=np.asarray(labels, dtype=int),
+        client_ids=np.asarray(client_ids, dtype=int),
         silhouette=float(payload["silhouette"]),
         feature_silhouette=float(payload["feature_silhouette"]),
         per_client_silhouette={int(cid): float(value) for cid, value
@@ -453,29 +496,44 @@ def figure_results_from_records(
     records: Sequence[Optional[Dict]],
     methods: Optional[Sequence[str]] = None,
     seed: int = 0,
+    store=None,
 ) -> List[EmbeddingResult]:
     """One :class:`EmbeddingResult` per method, from stored records alone.
 
     ``cells``/``records`` are a figure sweep's canonical grid (as
     returned by :func:`~repro.runs.run_sweep` or
     :meth:`~repro.runs.RunStore.load_records`); ``methods`` defaults to
-    every method present, in grid order.  Raises if any requested
-    method's cell is missing for ``seed``.
+    every method present, in grid order.  ``store`` (a path or
+    :class:`~repro.runs.RunStore`) supplies the ``.npcol`` array sidecars
+    of columnar records; legacy inline records and ephemeral records with
+    in-memory columns need none.  Raises if any requested method's cell
+    is missing for ``seed``.
     """
-    by_method: Dict[str, Dict] = {}
+    if store is not None and not isinstance(store, RunStore):
+        store = RunStore(store)
+    by_method: Dict[str, Tuple[RunKey, Dict]] = {}
     order: List[str] = []
     for key, record in zip(cells, records):
         if key.seed != seed or record is None:
             continue
         if key.method not in by_method:
             order.append(key.method)
-        by_method[key.method] = record
+        by_method[key.method] = (key, record)
     wanted = list(methods) if methods is not None else order
     missing = [name for name in wanted if name not in by_method]
     if missing:
         raise KeyError(f"no stored records for methods {missing} at seed {seed}; "
                        "run the figure sweep first (repro sweep)")
-    return [embedding_from_record(by_method[name]) for name in wanted]
+    results = []
+    for name in wanted:
+        key, record = by_method[name]
+        arrays = None
+        if (store is not None and ARRAYS_KEY not in record
+                and "points" not in record.get("embedding", {})
+                and store.has_arrays(key)):
+            arrays = store.read_arrays(key)
+        results.append(embedding_from_record(record, arrays=arrays))
+    return results
 
 
 def run_figure(
@@ -499,7 +557,8 @@ def run_figure(
     summary = run_sweep(sweep, store=store, backend=scheduler, workers=jobs,
                         executor=execute_embedding_cell, verbose=verbose)
     return figure_results_from_records(summary.cells, summary.records,
-                                       methods=sweep.methods, seed=seed)
+                                       methods=sweep.methods, seed=seed,
+                                       store=store)
 
 
 # ----------------------------------------------------------------------

@@ -8,7 +8,7 @@ remains as a thin compatibility shim over this package.
 """
 
 from .callbacks import EarlyStopping, EvalCadence, HistoryStreamer, RoundCheckpointer
-from .codec import decode_value, encode_value
+from .codec import PackedState, decode_value, encode_value
 from .events import (
     AggregateDone,
     ClientUpdateDone,
@@ -20,17 +20,29 @@ from .events import (
     SessionEvent,
 )
 from .session import TrainingSession, default_session_context
-from .state import CHECKPOINT_SCHEMA, ServerState, read_checkpoint, write_checkpoint
+from .state import (
+    CHECKPOINT_SCHEMA,
+    COLUMNAR_SCHEMA,
+    ServerState,
+    checkpoint_total_bytes,
+    read_checkpoint,
+    remove_checkpoint,
+    write_checkpoint,
+)
 
 __all__ = [
     "TrainingSession",
     "default_session_context",
     "ServerState",
     "CHECKPOINT_SCHEMA",
+    "COLUMNAR_SCHEMA",
     "read_checkpoint",
     "write_checkpoint",
+    "remove_checkpoint",
+    "checkpoint_total_bytes",
     "encode_value",
     "decode_value",
+    "PackedState",
     "SessionEvent",
     "RoundBegin",
     "ClientUpdateDone",

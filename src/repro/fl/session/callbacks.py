@@ -16,7 +16,7 @@ from pathlib import Path
 from typing import IO, Callable, Dict, List, Optional, Tuple, Union
 
 from .events import PersonalizeDone, RoundEnd, SessionCallback
-from .state import write_checkpoint
+from .state import checkpoint_total_bytes, remove_checkpoint, write_checkpoint
 
 __all__ = [
     "HistoryStreamer",
@@ -185,6 +185,16 @@ class RoundCheckpointer(SessionCallback):
     most recent checkpoint: in retention mode it is atomically replaced
     alongside the numbered copy, so resume code that only knows the base
     path keeps working.
+
+    Checkpoints are manifest + ``.npcol`` sidecar pairs (see
+    :mod:`repro.fl.session.state`), so pruning goes through
+    :func:`~repro.fl.session.state.remove_checkpoint` — a stale manifest
+    and the sidecar it alone referenced disappear together, and orphaned
+    sidecars never accumulate.  Two counters land on the session tracer
+    per write: ``checkpoint.bytes`` (manifest + sidecar footprint of the
+    base checkpoint) and ``checkpoint.encode_s`` (wall-clock of the
+    encode + write, measured on the tracer's own clock so no timing ever
+    touches the state being persisted).
     """
 
     def __init__(self, path: Union[str, Path], every: int = 1,
@@ -214,12 +224,17 @@ class RoundCheckpointer(SessionCallback):
             return
         with _session_span(session, "checkpoint", round=event.round_index):
             state = session.capture_state()
+            tracer = getattr(session, "tracer", None)
+            started = tracer.now() if tracer is not None else None
             if self.keep_last is not None:
                 write_checkpoint(state, self._numbered_path(event.round_index))
                 for stale in self.retained()[:-self.keep_last]:
-                    stale.unlink()
+                    remove_checkpoint(stale)
             written = write_checkpoint(state, self.path)
+            if started is not None:
+                _session_count(session, "checkpoint.encode_s",
+                               tracer.now() - started)
             _session_count(session, "checkpoint.bytes",
-                           written.stat().st_size)
+                           checkpoint_total_bytes(written))
             _session_count(session, "checkpoint.writes")
         self.writes += 1

@@ -20,43 +20,89 @@ change downstream arithmetic:
 Anything else — arbitrary objects, object-dtype arrays — raises
 ``TypeError`` eagerly, which is the same contract the process execution
 backend enforces via pickling: per-client state must be plain data.
+
+Two encodings share the walker:
+
+* :func:`encode_value` / :func:`decode_value` — the legacy schema-1
+  format: arrays inline as ``__nd__`` JSON float lists.  Kept exactly
+  byte-stable as the compatibility read path (and for tiny states where
+  a sidecar is not worth a second file).
+* :func:`encode_with_columns` / :func:`decode_with_columns` — the
+  schema-2 split: every ndarray leaf is extracted into a
+  :class:`ColumnSink` and replaced by a ``__col__`` reference, leaving a
+  small JSON skeleton whose arrays live in a binary ``.npcol`` container
+  (:mod:`repro.arrays`).  Both encodings decode to *identical* values —
+  the differential checkpoint tests pin that bitwise.
+
+:class:`PackedState` applies the same split to cross-process IPC: the
+process backend ships per-client algorithm state as one (skeleton,
+packed-buffer) pair instead of a pickled tree of ndarrays.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-__all__ = ["encode_value", "decode_value"]
+from ...arrays import pack_columns, unpack_columns
+
+__all__ = [
+    "encode_value",
+    "decode_value",
+    "ColumnSink",
+    "encode_with_columns",
+    "decode_with_columns",
+    "PackedState",
+]
 
 _ND = "__nd__"
 _NP = "__np__"
 _TU = "__tu__"
 _MAP = "__map__"
-_TAGS = frozenset({_ND, _NP, _TU, _MAP})
+_COL = "__col__"
+_TAGS = frozenset({_ND, _NP, _TU, _MAP, _COL})
 
 
-def encode_value(value: Any) -> Any:
-    """Recursively encode ``value`` into JSON-safe data, losslessly."""
+class ColumnSink:
+    """Accumulates ndarray leaves during a split encode.
+
+    Column names are sequential in encounter order (``a00000``, …), so
+    encoding is deterministic: equal states yield equal skeletons and
+    equal column sets.
+    """
+
+    def __init__(self) -> None:
+        self.columns: Dict[str, np.ndarray] = {}
+
+    def add(self, array: np.ndarray) -> str:
+        name = f"a{len(self.columns):05d}"
+        self.columns[name] = array
+        return name
+
+
+def _encode(value: Any, sink: Optional[ColumnSink]) -> Any:
     # bool is an int subclass: test it (via the exact-type tuple) first.
     if value is None or type(value) in (bool, int, float, str):
         return value
     if isinstance(value, np.ndarray):
         if value.dtype.hasobject:
             raise TypeError("cannot checkpoint object-dtype arrays")
-        return {_ND: [value.dtype.str, list(value.shape),
-                      np.ascontiguousarray(value).ravel().tolist()]}
+        if sink is not None:
+            return {_COL: sink.add(value)}
+        # repro: allow[ARR001] -- the legacy schema-1 inline encoding, kept byte-stable as the compatibility read/write path
+        data = np.ascontiguousarray(value).ravel().tolist()
+        return {_ND: [value.dtype.str, list(value.shape), data]}
     if isinstance(value, np.generic):
         return {_NP: [value.dtype.str, value.item()]}
     if isinstance(value, tuple):
-        return {_TU: [encode_value(item) for item in value]}
+        return {_TU: [_encode(item, sink) for item in value]}
     if isinstance(value, list):
-        return [encode_value(item) for item in value]
+        return [_encode(item, sink) for item in value]
     if isinstance(value, dict):
         if all(isinstance(key, str) for key in value) and not (_TAGS & value.keys()):
-            return {key: encode_value(item) for key, item in value.items()}
-        return {_MAP: [[encode_value(key), encode_value(item)]
+            return {key: _encode(item, sink) for key, item in value.items()}
+        return {_MAP: [[_encode(key, sink), _encode(item, sink)]
                        for key, item in value.items()]}
     # Plain-int/float subclasses (e.g. enum.IntEnum) would decode as their
     # base type; refuse rather than silently change type on resume.
@@ -67,23 +113,104 @@ def encode_value(value: Any) -> Any:
     raise TypeError(f"cannot checkpoint value of type {type(value).__name__}")
 
 
-def decode_value(value: Any) -> Any:
-    """Invert :func:`encode_value` exactly."""
+def _decode(value: Any, columns: Optional[Dict[str, np.ndarray]]) -> Any:
     if isinstance(value, list):
-        return [decode_value(item) for item in value]
+        return [_decode(item, columns) for item in value]
     if isinstance(value, dict):
         if len(value) == 1:
             if _ND in value:
                 dtype, shape, data = value[_ND]
                 return np.array(data, dtype=np.dtype(dtype)).reshape(
                     [int(dim) for dim in shape])
+            if _COL in value:
+                name = value[_COL]
+                if columns is None or name not in columns:
+                    raise KeyError(
+                        f"encoded value references array column {name!r} but "
+                        "no such column was provided (missing or mismatched "
+                        ".npcol sidecar)")
+                return columns[name]
             if _NP in value:
                 dtype, item = value[_NP]
                 return np.dtype(dtype).type(item)
             if _TU in value:
-                return tuple(decode_value(item) for item in value[_TU])
+                return tuple(_decode(item, columns) for item in value[_TU])
             if _MAP in value:
-                return {decode_value(key): decode_value(item)
+                return {_decode(key, columns): _decode(item, columns)
                         for key, item in value[_MAP]}
-        return {key: decode_value(item) for key, item in value.items()}
+        return {key: _decode(item, columns) for key, item in value.items()}
     return value
+
+
+def encode_value(value: Any) -> Any:
+    """Recursively encode ``value`` into JSON-safe data, losslessly."""
+    return _encode(value, None)
+
+
+def decode_value(value: Any) -> Any:
+    """Invert :func:`encode_value` exactly."""
+    return _decode(value, None)
+
+
+def encode_with_columns(value: Any, sink: ColumnSink) -> Any:
+    """Encode like :func:`encode_value`, but move every ndarray leaf into
+    ``sink`` and emit a ``__col__`` reference in its place."""
+    return _encode(value, sink)
+
+
+def decode_with_columns(value: Any, columns: Dict[str, np.ndarray]) -> Any:
+    """Invert :func:`encode_with_columns` given the sink's columns."""
+    return _decode(value, columns)
+
+
+class PackedState:
+    """A nested state value, columnar-packed for cross-process transport.
+
+    Pickles as a tiny JSON-shaped skeleton plus one contiguous ``.npcol``
+    buffer (:func:`repro.arrays.pack_columns`) instead of a deep tree of
+    individually pickled ndarrays — the wire format the process execution
+    backend uses for per-client algorithm stores.  ``pack``/``unpack``
+    round-trip exactly (dtypes, shapes, tuples, NaN payloads), and
+    unpacked arrays are fresh and writable, so a worker or coordinator
+    can mutate the restored store freely.
+    """
+
+    __slots__ = ("skeleton", "payload")
+
+    def __init__(self, skeleton: Any, payload: bytes):
+        self.skeleton = skeleton
+        self.payload = payload
+
+    @classmethod
+    def pack(cls, value: Any) -> "PackedState":
+        sink = ColumnSink()
+        skeleton = encode_with_columns(value, sink)
+        payload = pack_columns(sink.columns) if sink.columns else b""
+        return cls(skeleton, payload)
+
+    def unpack(self) -> Any:
+        columns = (unpack_columns(self.payload, writable=True)
+                   if self.payload else {})
+        return decode_with_columns(self.skeleton, columns)
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.payload)
+
+    def __reduce__(self):
+        return (PackedState, (self.skeleton, self.payload))
+
+    def __repr__(self) -> str:
+        return f"PackedState(payload={len(self.payload)}B)"
+
+
+def pack_store(store: Any) -> Any:
+    """Pack a client store for dispatch; empty stores pass through."""
+    if not store or isinstance(store, PackedState):
+        return store
+    return PackedState.pack(store)
+
+
+def unpack_store(store: Any) -> Any:
+    """Invert :func:`pack_store` (idempotent on plain stores)."""
+    return store.unpack() if isinstance(store, PackedState) else store

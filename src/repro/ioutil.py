@@ -12,7 +12,7 @@ import os
 from pathlib import Path
 from typing import Union
 
-__all__ = ["atomic_write_text", "safe_filename"]
+__all__ = ["atomic_write_bytes", "atomic_write_text", "safe_filename"]
 
 
 def safe_filename(name: str) -> str:
@@ -38,5 +38,20 @@ def atomic_write_text(path: Union[str, Path], text: str) -> Path:
     tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
     # repro: allow[ATM001] -- this IS the atomic primitive; the raw write hits the temp file only
     tmp.write_text(text)
+    os.replace(tmp, path)
+    return path
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> Path:
+    """Binary sibling of :func:`atomic_write_text`: same temp + ``os.replace``
+    discipline, for payloads that are bytes (the ``.npcol`` array containers
+    of :mod:`repro.arrays`).  Readers never observe a torn container — at
+    worst a missing file, which every consumer treats as "not written yet".
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+    # repro: allow[ATM001] -- this IS the atomic primitive; the raw write hits the temp file only
+    tmp.write_bytes(data)
     os.replace(tmp, path)
     return path

@@ -32,7 +32,7 @@ from ..fl.execution import resolve_backend
 from ..telemetry import Tracer, sidecar_lines
 from .serialize import RECORD_SCHEMA
 from .spec import RunKey, SweepSpec
-from .store import RunStore
+from .store import ARRAYS_KEY, RunStore
 
 __all__ = ["run_sweep", "execute_cell", "make_record", "SweepSummary",
            "cell_checkpoint_dir"]
@@ -138,6 +138,12 @@ class _CellTask:
                                    checkpoint_dir=checkpoint_dir,
                                    checkpoint_every=self.checkpoint_every)
         elapsed = cell_span.duration
+        # Bulky numeric columns travel out of the executor under the
+        # reserved ARRAYS_KEY; they are popped before the record is
+        # persisted (or hashed by anything downstream) and routed to the
+        # store's binary arrays/ sidecar.  Without a store they stay
+        # attached so ephemeral in-memory runs keep working.
+        columns = record.pop(ARRAYS_KEY, None)
         if self.store_root is not None:
             # A cell resumed from a mid-run checkpoint only recomputed its
             # remaining rounds; recording that partial elapsed as the
@@ -155,6 +161,11 @@ class _CellTask:
             if availability is not None and availability.is_active:
                 timing["churn"] = True
             store = RunStore(self.store_root)
+            if columns:
+                # Sidecar first: a crash between the two writes leaves an
+                # unreferenced .npcol (harmless) rather than a record whose
+                # arrays are missing.
+                store.write_arrays(key, columns)
             store.write_record(record, timing=timing)
             if self.telemetry:
                 store.write_telemetry(key, sidecar_lines(tracer, meta={
@@ -166,6 +177,8 @@ class _CellTask:
                 # The authoritative cell record exists now; the mid-run
                 # checkpoint is stale and must not shadow future reruns.
                 shutil.rmtree(checkpoint_dir, ignore_errors=True)
+        elif columns:
+            record[ARRAYS_KEY] = columns
         if self.verbose:
             mean = record["report"]["mean"]
             print(f"  [cell {key.fingerprint}] {key.label()}: mean={mean:.4f}")

@@ -1,12 +1,13 @@
 """Persistent, resumable run store: one JSON record per experiment cell.
 
-Directory layout (everything human-readable)::
+Directory layout (everything human-readable except ``arrays/``)::
 
     <runs-dir>/
         cells/<fingerprint>.json       # authoritative: one record per finished cell
         index.jsonl                    # append-only log: one line per write
         sweeps/<name>.json             # provenance: the sweep grids that ran here
         telemetry/<fingerprint>.jsonl  # diagnostic sidecar: spans + counters
+        arrays/<fingerprint>.npcol     # binary sidecar: the cell's array columns
 
 The ``cells/`` files are the source of truth — a cell is complete iff its
 file exists.  Records are written with write-then-``os.replace`` so a
@@ -25,11 +26,26 @@ import json
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Union
 
+import numpy as np
+
+from ..arrays import read_columns, write_columns
 from ..ioutil import safe_filename
 from .serialize import atomic_write_text, encode_record
 from .spec import RunKey, SweepSpec
 
-__all__ = ["RunStore", "TIMING_FIELDS", "RESUMED_FIELD", "CHURN_FIELD"]
+__all__ = ["RunStore", "ARRAYS_KEY", "TIMING_FIELDS", "RESUMED_FIELD",
+           "CHURN_FIELD"]
+
+ARRAYS_KEY = "__arrays__"
+"""Reserved record key carrying in-memory array columns.
+
+An executor that produces bulky numeric payloads (e.g. embedding point
+clouds) attaches them under this key as a ``{name: ndarray}`` dict.  The
+scheduler pops the key before the record is hashed or persisted and
+routes the columns to the store's binary ``arrays/`` sidecar — so cell
+records stay small, human-readable JSON and fingerprints never cover
+container bytes.  In ephemeral runs (no store) the columns simply stay
+attached in memory."""
 
 
 def _fingerprint_of(key: Union[str, RunKey]) -> str:
@@ -239,6 +255,38 @@ class RunStore:
         """
         self.telemetry_dir.mkdir(parents=True, exist_ok=True)
         return atomic_write_text(self.telemetry_path_for(key), text)
+
+    # ------------------------------------------------------------------
+    @property
+    def arrays_dir(self) -> Path:
+        return self.root / "arrays"
+
+    def arrays_path_for(self, key: Union[str, RunKey]) -> Path:
+        return self.arrays_dir / f"{_fingerprint_of(key)}.npcol"
+
+    def has_arrays(self, key: Union[str, RunKey]) -> bool:
+        return self.arrays_path_for(key).is_file()
+
+    def write_arrays(self, key: Union[str, RunKey],
+                     columns: Dict[str, np.ndarray]) -> Path:
+        """Atomically persist one cell's binary ``.npcol`` array sidecar.
+
+        Like telemetry, array sidecars live beside — never inside — the
+        hashed cell records: the record stores only the column *names*,
+        so fingerprints are computed over logical values and survive any
+        change to the container format.
+        """
+        self.arrays_dir.mkdir(parents=True, exist_ok=True)
+        return write_columns(self.arrays_path_for(key), columns)
+
+    def read_arrays(self, key: Union[str, RunKey],
+                    mmap: bool = False) -> Dict[str, np.ndarray]:
+        """Read a cell's array sidecar; raises ``KeyError`` if absent."""
+        path = self.arrays_path_for(key)
+        if not path.is_file():
+            raise KeyError(
+                f"no array sidecar for cell {_fingerprint_of(key)} in {self.root}")
+        return read_columns(path, mmap=mmap)
 
     # ------------------------------------------------------------------
     def write_sweep(self, sweep: SweepSpec) -> Path:

@@ -1,0 +1,146 @@
+"""Property tests for the ``.npcol`` container: bitwise round-trips.
+
+The container's contract is exactness — what comes out of
+``unpack_columns``/``read_columns`` compares bitwise (dtype, shape, NaN
+payloads) with what went in — over every supported dtype, 0-d scalars,
+empty arrays, and non-contiguous or F-ordered inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.arrays import (
+    ARRAY_SCHEMA,
+    pack_columns,
+    read_columns,
+    unpack_columns,
+    write_columns,
+)
+
+_dtypes = st.sampled_from(["<f8", "<f4", "<i8", "<i4", "|b1"])
+_arrays = _dtypes.flatmap(
+    lambda dtype: hnp.arrays(
+        dtype=np.dtype(dtype),
+        shape=hnp.array_shapes(min_dims=0, max_dims=3, max_side=5),
+        elements=(st.floats(width=32 if dtype == "<f4" else 64,
+                            allow_nan=True, allow_infinity=True)
+                  if dtype in ("<f8", "<f4") else None),
+    )
+)
+_columns = st.dictionaries(st.text(min_size=1, max_size=8), _arrays,
+                           max_size=4)
+
+
+def assert_columns_exact(actual, expected):
+    assert list(actual.keys()) == [str(name) for name in expected.keys()]
+    for name, array in expected.items():
+        out = actual[str(name)]
+        array = np.asarray(array)
+        assert out.dtype == array.dtype, name
+        assert out.shape == array.shape, name
+        np.testing.assert_array_equal(out, array, err_msg=str(name))
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(columns=_columns)
+    def test_pack_unpack_is_exact(self, columns):
+        assert_columns_exact(unpack_columns(pack_columns(columns)), columns)
+
+    @settings(max_examples=40, deadline=None)
+    @given(columns=_columns)
+    def test_packing_is_deterministic(self, columns):
+        assert pack_columns(columns) == pack_columns(columns)
+
+    @settings(max_examples=40, deadline=None)
+    @given(columns=_columns)
+    def test_file_round_trip_matches_memory(self, columns, tmp_path_factory):
+        path = tmp_path_factory.mktemp("npcol") / "t.npcol"
+        write_columns(path, columns)
+        assert path.read_bytes() == pack_columns(columns)
+        assert_columns_exact(read_columns(path), columns)
+
+    @settings(max_examples=40, deadline=None)
+    @given(columns=_columns)
+    def test_mmap_read_equals_eager_read_and_is_readonly(
+            self, columns, tmp_path_factory):
+        path = tmp_path_factory.mktemp("npcol") / "t.npcol"
+        write_columns(path, columns)
+        eager = read_columns(path)
+        mapped = read_columns(path, mmap=True)
+        assert_columns_exact(mapped, columns)
+        for name, array in eager.items():
+            assert array.flags.writeable  # eager arrays are plain copies
+            assert not mapped[name].flags.writeable
+            np.testing.assert_array_equal(mapped[name], array, err_msg=name)
+            if mapped[name].size:
+                with pytest.raises((ValueError, OSError)):
+                    mapped[name][(0,) * mapped[name].ndim] = 0
+
+
+class TestShapesAndLayouts:
+    def test_zero_d_scalars(self):
+        columns = {"s": np.float64(3.5), "i": np.array(7, dtype=np.int32)}
+        out = unpack_columns(pack_columns(columns))
+        assert out["s"].shape == () and out["s"].dtype == np.float64
+        assert out["s"][()] == 3.5
+        assert out["i"].shape == () and out["i"][()] == 7
+
+    def test_empty_arrays(self):
+        columns = {"e": np.empty((0, 3), dtype=np.float32),
+                   "z": np.array([], dtype=bool)}
+        out = unpack_columns(pack_columns(columns))
+        assert out["e"].shape == (0, 3) and out["e"].dtype == np.float32
+        assert out["z"].shape == (0,) and out["z"].dtype == np.bool_
+
+    def test_empty_container(self):
+        assert unpack_columns(pack_columns({})) == {}
+
+    def test_non_contiguous_and_f_ordered_inputs(self):
+        base = np.arange(24, dtype=np.float64).reshape(4, 6)
+        columns = {"strided": base[::2, ::3], "f": np.asfortranarray(base),
+                   "rev": base[::-1]}
+        out = unpack_columns(pack_columns(columns))
+        for name, array in columns.items():
+            np.testing.assert_array_equal(out[name], array, err_msg=name)
+            assert out[name].dtype == array.dtype
+
+    def test_nan_and_inf_payloads_survive_bitwise(self):
+        values = np.array([np.nan, np.inf, -np.inf, -0.0, 5e-324],
+                          dtype=np.float64)
+        out = unpack_columns(pack_columns({"v": values}))["v"]
+        assert out.tobytes() == values.tobytes()
+
+    def test_non_native_endian_dtype_round_trips(self):
+        big = np.arange(4, dtype=np.dtype(">f8"))
+        out = unpack_columns(pack_columns({"be": big}))["be"]
+        assert out.dtype == big.dtype
+        np.testing.assert_array_equal(out, big)
+
+    def test_column_order_is_insertion_order(self):
+        columns = {"z": np.zeros(1), "a": np.ones(1), "m": np.zeros(2)}
+        assert list(unpack_columns(pack_columns(columns))) == ["z", "a", "m"]
+
+    def test_payloads_are_64_byte_aligned(self):
+        import json
+
+        buf = pack_columns({"a": np.zeros(3), "b": np.arange(5)})
+        header_len = int.from_bytes(buf[8:16], "little")
+        header = json.loads(buf[16:16 + header_len])
+        assert header["schema"] == ARRAY_SCHEMA
+        for _name, _dtype, _shape, offset, _nbytes in header["columns"]:
+            assert offset % 64 == 0
+
+    def test_object_dtype_rejected(self):
+        with pytest.raises(TypeError):
+            pack_columns({"o": np.array([object()])})
+
+    def test_writable_unpack_returns_mutable_copies(self):
+        buf = pack_columns({"a": np.arange(4, dtype=np.int64)})
+        out = unpack_columns(buf, writable=True)
+        out["a"][0] = 99  # must not raise
+        again = unpack_columns(buf)
+        assert again["a"][0] == 0  # the source buffer was never mutated

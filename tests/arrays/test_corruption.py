@@ -1,0 +1,175 @@
+"""Corruption and torn-write fuzz: a damaged container always fails
+loudly with :class:`CorruptArrayFile` — never a silent misread.
+
+The fixture container is a few hundred bytes, so "every boundary" is
+literal: every truncation length and every flipped byte is tried.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.arrays import (
+    CorruptArrayFile,
+    FOOTER_MAGIC,
+    MAGIC,
+    pack_columns,
+    read_columns,
+    unpack_columns,
+)
+
+_FOOTER_SIZE = 24
+_FOOTER_PAD = 4  # trailing zero pad after the crc32 — not covered by it
+
+
+@pytest.fixture(scope="module")
+def container() -> bytes:
+    return pack_columns({
+        "weights": np.arange(20, dtype=np.float64).reshape(4, 5),
+        "mask": np.array([True, False, True]),
+        "bias": np.float32(0.25) * np.ones(7, dtype=np.float32),
+    })
+
+
+class TestTruncation:
+    def test_every_truncation_length_fails_loudly(self, container):
+        for length in range(len(container)):
+            with pytest.raises(CorruptArrayFile):
+                unpack_columns(container[:length])
+
+    def test_every_extension_fails_loudly(self, container):
+        # Appended garbage desynchronizes the footer just like truncation.
+        for extra in (1, 7, 64):
+            with pytest.raises(CorruptArrayFile):
+                unpack_columns(container + b"\x00" * extra)
+
+    def test_empty_and_tiny_buffers(self):
+        for buffer in (b"", b"\x00", MAGIC, MAGIC + b"\x00" * 8):
+            with pytest.raises(CorruptArrayFile):
+                unpack_columns(buffer)
+
+
+class TestBitFlips:
+    def test_every_checksummed_byte_flip_fails_loudly(self, container):
+        # Every byte except the footer's trailing zero pad participates in
+        # validation: body bytes via the crc32, footer magic / body-length /
+        # crc bytes via their own field checks.
+        for index in range(len(container) - _FOOTER_PAD):
+            mutated = bytearray(container)
+            mutated[index] ^= 0xFF
+            with pytest.raises(CorruptArrayFile):
+                unpack_columns(bytes(mutated))
+
+    def test_footer_checksum_flip_names_the_mismatch(self, container):
+        mutated = bytearray(container)
+        mutated[-_FOOTER_PAD - 1] ^= 0x01  # last crc byte
+        with pytest.raises(CorruptArrayFile, match="checksum mismatch"):
+            unpack_columns(bytes(mutated))
+
+    def test_bad_magic_is_reported_as_not_npcol(self, container):
+        mutated = b"X" + container[1:]
+        with pytest.raises(CorruptArrayFile, match="magic"):
+            unpack_columns(mutated)
+
+    def test_torn_footer_magic_reported_as_torn(self, container):
+        mutated = bytearray(container)
+        start = len(container) - _FOOTER_SIZE
+        mutated[start:start + len(FOOTER_MAGIC)] = b"NOTANEND"
+        with pytest.raises(CorruptArrayFile, match="footer"):
+            unpack_columns(bytes(mutated))
+
+
+def _align(offset: int) -> int:
+    return -(-offset // 64) * 64
+
+
+def _reforge(buffer: bytes, header: dict) -> bytes:
+    """Rebuild a container around a tampered header — relaying the body
+    and fixing lengths and checksum, so only the *structural* directory
+    validation can catch the lie."""
+    import copy
+    import zlib
+
+    old_header_len = int.from_bytes(buffer[8:16], "little")
+    old_start = _align(16 + old_header_len)
+    payload = buffer[old_start:len(buffer) - _FOOTER_SIZE]
+    new_start = old_start
+    for _ in range(8):
+        trial = copy.deepcopy(header)
+        delta = new_start - old_start
+        for entry in trial.get("columns", []):
+            # Shift plausible offsets with the moved payload; leave the
+            # deliberately absurd ones (the out-of-bounds test) alone.
+            if (isinstance(entry, list) and len(entry) == 5
+                    and isinstance(entry[3], int) and entry[3] < 10 ** 8):
+                entry[3] += delta
+        text = json.dumps(trial, separators=(",", ":")).encode()
+        start = _align(16 + len(text))
+        if start == new_start:
+            break
+        new_start = start
+    body = bytearray(new_start + len(payload))
+    body[:8] = MAGIC
+    body[8:16] = len(text).to_bytes(8, "little")
+    body[16:16 + len(text)] = text
+    body[new_start:] = payload
+    crc = zlib.crc32(body)
+    footer = (FOOTER_MAGIC + len(body).to_bytes(8, "little")
+              + crc.to_bytes(4, "little") + b"\x00" * 4)
+    return bytes(body) + footer
+
+
+class TestStructuralValidation:
+    """Directory lies that a correct checksum cannot excuse."""
+
+    def _header_of(self, buffer):
+        header_len = int.from_bytes(buffer[8:16], "little")
+        return json.loads(buffer[16:16 + header_len])
+
+    def test_duplicate_column_names_rejected(self, container):
+        header = self._header_of(container)
+        header["columns"][1][0] = header["columns"][0][0]
+        with pytest.raises(CorruptArrayFile, match="duplicate"):
+            unpack_columns(_reforge(container, header))
+
+    def test_dtype_shape_nbytes_mismatch_rejected(self, container):
+        header = self._header_of(container)
+        header["columns"][0][4] += 8  # claim one extra element's bytes
+        with pytest.raises(CorruptArrayFile, match="directory says"):
+            unpack_columns(_reforge(container, header))
+
+    def test_out_of_bounds_payload_rejected(self, container):
+        header = self._header_of(container)
+        header["columns"][0][3] = 10 ** 9
+        with pytest.raises(CorruptArrayFile, match="outside the body"):
+            unpack_columns(_reforge(container, header))
+
+    def test_unknown_schema_rejected(self, container):
+        header = self._header_of(container)
+        header["schema"] = 99
+        with pytest.raises(CorruptArrayFile, match="schema"):
+            unpack_columns(_reforge(container, header))
+
+    def test_missing_directory_rejected(self, container):
+        header = {"schema": self._header_of(container)["schema"]}
+        with pytest.raises(CorruptArrayFile, match="directory"):
+            unpack_columns(_reforge(container, header))
+
+
+class TestFileLevelFailures:
+    def test_missing_file_raises_corrupt(self, tmp_path):
+        with pytest.raises(CorruptArrayFile, match="cannot read"):
+            read_columns(tmp_path / "absent.npcol")
+
+    def test_truncated_file_on_disk(self, tmp_path, container):
+        path = tmp_path / "torn.npcol"
+        path.write_bytes(container[: len(container) // 2])
+        for mmap in (False, True):
+            with pytest.raises(CorruptArrayFile):
+                read_columns(path, mmap=mmap)
+
+    def test_corrupt_error_is_a_value_error(self, container):
+        # Callers that catch ValueError (the codec contract) stay correct.
+        with pytest.raises(ValueError):
+            unpack_columns(container[:10])

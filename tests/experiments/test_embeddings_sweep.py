@@ -108,19 +108,26 @@ class TestStoreRoundTrip:
         _sweep, summary = self.run_tiny(tmp_path)
         record = summary.records[0]
         embedding = record["embedding"]
-        assert set(embedding) >= {"points", "labels", "client_ids",
-                                  "silhouette", "feature_silhouette",
+        # The record itself holds scalars + column *names*; the point cloud
+        # lives in the store's binary arrays/ sidecar.
+        assert set(embedding) >= {"arrays", "silhouette",
+                                  "feature_silhouette",
                                   "per_client_silhouette", "params"}
-        assert len(embedding["points"]) == len(embedding["labels"])
+        columns = RunStore(tmp_path).read_arrays(record["fingerprint"])
+        assert set(columns) == set(embedding["arrays"])
+        assert len(columns["embedding.points"]) == \
+            len(columns["embedding.labels"])
         assert "mean" in record["report"]  # the training result rides along
 
     def test_store_rebuild_renders_byte_identical_svg(self, tmp_path):
         sweep, summary = self.run_tiny(tmp_path)
         live = figure_results_from_records(summary.cells, summary.records,
-                                           methods=sweep.methods)
+                                           methods=sweep.methods,
+                                           store=tmp_path)
         reloaded = RunStore(tmp_path).load_records(sweep.cells())
         stored = figure_results_from_records(sweep.cells(), reloaded,
-                                             methods=sweep.methods)
+                                             methods=sweep.methods,
+                                             store=tmp_path)
         svg_live = render_figure_svg("fig1", live)
         svg_stored = render_figure_svg("fig1", stored)
         assert svg_live == svg_stored

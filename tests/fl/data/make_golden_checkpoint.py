@@ -1,0 +1,31 @@
+"""Regenerate the golden legacy (schema-1) checkpoint fixture.
+
+Run from the repo root::
+
+    PYTHONPATH=src:. python tests/fl/data/make_golden_checkpoint.py
+
+The fixture pins the pre-columnar on-disk format: a scaffold session,
+interrupted after round 2, written as inline-JSON (``arrays="json"``).
+``TestGoldenLegacyCheckpoint`` asserts it still reads and resumes
+bitwise, so regenerate it *only* when the training math legitimately
+changes — never to paper over a checkpoint-format regression.
+"""
+
+from pathlib import Path
+
+from repro.fl.session import write_checkpoint
+
+from tests.fl.test_checkpoint_roundtrip import golden_session
+
+OUT = Path(__file__).parent / "golden_checkpoint_schema1.json"
+
+
+def main() -> None:
+    session = golden_session()
+    session.run_until(2)
+    written = write_checkpoint(session.capture_state(), OUT, arrays="json")
+    print(f"wrote {written} ({written.stat().st_size} bytes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -25,6 +25,7 @@ from repro.fl import (
     read_checkpoint,
 )
 from repro.fl.personalization import PersonalizationResult
+from repro.fl.session.state import checkpoint_sidecar
 from repro.fl.session.events import (
     AggregateDone,
     ClientUpdateDone,
@@ -248,8 +249,12 @@ class TestBuiltinCallbacks:
         state = read_checkpoint(path)
         assert state.round_index == 4
         assert len(state.round_records) == 4
-        # Atomic discipline: no temp files left behind.
-        assert [p.name for p in tmp_path.iterdir()] == ["ckpt.json"]
+        # Atomic discipline: no temp files left behind — just the manifest
+        # and the single .npcol sidecar it references.
+        sidecar = checkpoint_sidecar(path)
+        assert sidecar is not None
+        assert sorted(p.name for p in tmp_path.iterdir()) == \
+            sorted(["ckpt.json", sidecar.name])
 
     def test_round_checkpointer_retains_last_n(self, tmp_path):
         config = tiny_config(rounds=5)
@@ -266,8 +271,15 @@ class TestBuiltinCallbacks:
         # that only knows the base path keeps working.
         assert read_checkpoint(path).round_index == 5
         assert read_checkpoint(tmp_path / "ckpt-r000004.json").round_index == 4
-        assert sorted(p.name for p in tmp_path.iterdir()) == \
-            ["ckpt-r000004.json", "ckpt-r000005.json", "ckpt.json"]
+        manifests = sorted(p.name for p in tmp_path.glob("*.json"))
+        assert manifests == ["ckpt-r000004.json", "ckpt-r000005.json",
+                             "ckpt.json"]
+        # Retention is sidecar-aware: every .npcol on disk is referenced by
+        # a surviving manifest — pruned checkpoints never leave orphans.
+        on_disk = {p.name for p in tmp_path.glob("*.npcol")}
+        referenced = {checkpoint_sidecar(tmp_path / name).name
+                      for name in manifests}
+        assert on_disk == referenced
 
     def test_round_checkpointer_retention_respects_cadence(self, tmp_path):
         config = tiny_config(rounds=6)

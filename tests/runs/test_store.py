@@ -2,8 +2,10 @@
 
 import json
 
+import numpy as np
 import pytest
 
+from repro.arrays import CorruptArrayFile
 from repro.eval import NonIIDSetting
 from repro.fl import FederatedConfig
 from repro.runs import RunStore, SweepSpec
@@ -105,3 +107,58 @@ class TestRunStore:
             RunStore(tmp_path / "nope", create=False)
         RunStore(tmp_path)  # create
         RunStore(tmp_path, create=False)  # now opens fine
+
+
+class TestArraysSidecar:
+    """Per-cell ``arrays/<fingerprint>.npcol`` sidecars."""
+
+    def columns(self):
+        return {"embedding.points": np.linspace(0.0, 1.0, 12).reshape(6, 2),
+                "embedding.labels": np.arange(6, dtype=np.int64)}
+
+    def test_write_read_round_trip_by_key_and_fingerprint(self, tmp_path):
+        store = RunStore(tmp_path)
+        key = make_sweep().cells()[0]
+        columns = self.columns()
+        path = store.write_arrays(key, columns)
+        assert path == store.arrays_path_for(key)
+        assert path.parent == tmp_path / "arrays"
+        assert path.name == f"{key.fingerprint}.npcol"
+        for handle in (key, key.fingerprint):
+            out = store.read_arrays(handle)
+            assert list(out) == list(columns)
+            for name in columns:
+                np.testing.assert_array_equal(out[name], columns[name])
+
+    def test_has_arrays_and_missing_sidecar_raises(self, tmp_path):
+        store = RunStore(tmp_path)
+        key = make_sweep().cells()[0]
+        assert not store.has_arrays(key)
+        with pytest.raises(KeyError, match="no array sidecar"):
+            store.read_arrays(key)
+        store.write_arrays(key, self.columns())
+        assert store.has_arrays(key)
+
+    def test_mmap_read_is_readonly_and_equal(self, tmp_path):
+        store = RunStore(tmp_path)
+        key = make_sweep().cells()[0]
+        store.write_arrays(key, self.columns())
+        eager = store.read_arrays(key)
+        mapped = store.read_arrays(key, mmap=True)
+        for name, array in eager.items():
+            np.testing.assert_array_equal(mapped[name], array, err_msg=name)
+            assert not mapped[name].flags.writeable
+
+    def test_sidecar_write_is_deterministic(self, tmp_path):
+        store = RunStore(tmp_path)
+        key = make_sweep().cells()[0]
+        first = store.write_arrays(key, self.columns()).read_bytes()
+        assert store.write_arrays(key, self.columns()).read_bytes() == first
+
+    def test_torn_sidecar_fails_loudly(self, tmp_path):
+        store = RunStore(tmp_path)
+        key = make_sweep().cells()[0]
+        path = store.write_arrays(key, self.columns())
+        path.write_bytes(path.read_bytes()[:-9])
+        with pytest.raises(CorruptArrayFile):
+            store.read_arrays(key)
